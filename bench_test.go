@@ -1,0 +1,214 @@
+// Package atr's top-level benchmarks regenerate every table and figure of
+// the paper (run with `go test -bench=. -benchmem`). Each BenchmarkFigNN
+// executes the corresponding experiment end to end and reports the figure's
+// headline quantity as a custom metric, so `go test -bench Fig` reproduces
+// the evaluation section. Microbenchmarks of the simulator's hot structures
+// follow.
+package atr
+
+import (
+	"io"
+	"testing"
+
+	"atr/internal/bpred"
+	"atr/internal/cache"
+	"atr/internal/config"
+	"atr/internal/core"
+	"atr/internal/experiments"
+	"atr/internal/isa"
+	"atr/internal/logicsim"
+	"atr/internal/pipeline"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// benchInstr is the per-simulation instruction budget for figure benches;
+// kept small so the full sweep finishes in minutes. Increase for tighter
+// numbers (cmd/atrsweep -n takes any budget).
+const benchInstr = 10_000
+
+func BenchmarkFig01RFScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig1(r, io.Discard)
+		b.ReportMetric(res.Avg64Ratio, "norm-ipc@64")
+	}
+}
+
+func BenchmarkFig04Lifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig4(r, io.Discard)
+		b.ReportMetric(100*res.IntUnused, "int-unused-%")
+		b.ReportMetric(100*res.IntVerified, "int-verified-%")
+	}
+}
+
+func BenchmarkFig06AtomicRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig6(r, io.Discard)
+		b.ReportMetric(100*res.IntAtomic, "int-atomic-%")
+		b.ReportMetric(100*res.FPAtomic, "fp-atomic-%")
+	}
+}
+
+func BenchmarkFig10Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig10(r, io.Discard)
+		b.ReportMetric(res.Avg[64][config.SchemeATR]["int"], "atr64-int-%")
+		b.ReportMetric(res.Avg[64][config.SchemeNonSpecER]["int"], "er64-int-%")
+		b.ReportMetric(res.Avg[224][config.SchemeATR]["int"], "atr224-int-%")
+	}
+}
+
+func BenchmarkFig11RFSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig11(r, io.Discard)
+		b.ReportMetric(res.IntAvg[0], "atr-int@64-%")
+		b.ReportMetric(res.IntAvg[len(res.IntAvg)-1], "atr-int@280-%")
+	}
+}
+
+func BenchmarkFig12ConsumerHist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig12(r, io.Discard)
+		b.ReportMetric(res.AvgMean, "consumers/region")
+	}
+}
+
+func BenchmarkFig13PipelineDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig13(r, io.Discard)
+		b.ReportMetric(res.IntAvg[0]-res.IntAvg[2], "delay2-cost-pts")
+	}
+}
+
+func BenchmarkFig14EventGaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig14(r, io.Discard)
+		var redef, commit float64
+		for _, v := range res.PerBench {
+			redef += v[0]
+			commit += v[2]
+		}
+		n := float64(len(res.PerBench))
+		b.ReportMetric(redef/n, "to-redefine-cyc")
+		b.ReportMetric(commit/n, "to-commit-cyc")
+	}
+}
+
+func BenchmarkFig15Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInstr)
+		res := experiments.Fig15(r, io.Discard)
+		b.ReportMetric(100*res.Reduction[config.SchemeATR], "atr-rf-reduction-%")
+		b.ReportMetric(100*res.Reduction[config.SchemeCombined], "combined-rf-reduction-%")
+	}
+}
+
+func BenchmarkLogicSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Logic(io.Discard)
+		b.ReportMetric(float64(res.Naive.Gates), "gates")
+		b.ReportMetric(float64(res.Naive.Levels), "levels")
+	}
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+// BenchmarkPipeline measures end-to-end simulation throughput
+// (instructions simulated per wall-clock second appear as ns/op / 20000).
+func BenchmarkPipeline(b *testing.B) {
+	for _, scheme := range []config.ReleaseScheme{config.SchemeBaseline, config.SchemeCombined} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			p, _ := workload.ByName("exchange2")
+			prog := p.Generate()
+			cfg := config.GoldenCove().WithScheme(scheme).WithPhysRegs(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cpu := pipeline.New(cfg, prog)
+				res := cpu.Run(20_000)
+				b.ReportMetric(float64(res.Committed), "instructions")
+			}
+		})
+	}
+}
+
+// BenchmarkRename measures the renaming engine alone: allocate, claim,
+// consume, release.
+func BenchmarkRename(b *testing.B) {
+	for _, scheme := range []config.ReleaseScheme{config.SchemeBaseline, config.SchemeATR} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := config.GoldenCove().WithScheme(scheme).WithPhysRegs(128)
+			e := core.NewEngine(cfg)
+			br := isa.NewInst(isa.OpBranch, nil, []isa.Reg{isa.Flags})
+			e.Rename(&br, 0)
+			in := isa.NewInst(isa.OpALU, []isa.Reg{isa.R1}, []isa.Reg{isa.R2, isa.R1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := e.Rename(&in, uint64(i))
+				for j := 0; j < out.NumSrcs; j++ {
+					e.ConsumerIssued(out.Srcs[j], uint64(i))
+				}
+				e.ProducerCompleted(out.Dsts[0].New, uint64(i))
+				e.RedefinerPrecommitted(out.Dsts[0], uint64(i))
+				e.RedefinerCommitted(out.Dsts[0], uint64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkTAGEPredict(b *testing.B) {
+	t := bpred.NewTAGE(bpred.TAGEConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i % 512)
+		p := t.Predict(pc)
+		t.Update(pc, p, i%3 != 0)
+	}
+}
+
+func BenchmarkCacheHierarchy(b *testing.B) {
+	h := cache.NewHierarchy(config.GoldenCove())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessData(uint64(i%100_000)*64, i%4 == 0, uint64(i))
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	p, _ := workload.ByName("gcc")
+	prog := p.Generate()
+	e := program.NewEmulator(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Step(); !ok {
+			e = program.NewEmulator(prog)
+		}
+	}
+}
+
+func BenchmarkFlushWalk(b *testing.B) {
+	// One misprediction recovery per iteration: fill a wrong path, flush.
+	p := workload.Micro(77)
+	p.BranchBias = 0.5 // mispredict-heavy
+	prog := p.Generate()
+	cfg := config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(96)
+	cpu := pipeline.New(cfg, prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Run(uint64((i + 1) * 200))
+	}
+}
+
+func BenchmarkBulkMarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logicsim.BuildBulkMark(8, 16)
+	}
+}

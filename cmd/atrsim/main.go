@@ -1,0 +1,100 @@
+// Command atrsim runs a single simulation of one benchmark profile under a
+// chosen release scheme and prints the run summary, release accounting, and
+// register lifetime statistics.
+//
+// Usage:
+//
+//	atrsim [-bench name] [-scheme baseline|nonspec-er|atomic|combined]
+//	       [-regs N] [-n instructions] [-delay N] [-walk] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"atr/internal/config"
+	"atr/internal/pipeline"
+	"atr/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "omnetpp", "benchmark profile name (see -list)")
+	schemeName := flag.String("scheme", "atomic", "release scheme: baseline, nonspec-er, atomic, combined")
+	regs := flag.Int("regs", 64, "physical registers per class (0 = infinite)")
+	n := flag.Uint64("n", 100_000, "instructions to simulate")
+	delay := flag.Int("delay", 0, "ATR redefine-signal pipeline delay (Fig 13)")
+	walk := flag.Bool("walk", false, "use walk-based SRT recovery instead of checkpoints")
+	list := flag.Bool("list", false, "list benchmark profiles and exit")
+	verbose := flag.Bool("v", false, "print internal release counters")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "atrsim: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	scheme, err := config.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim:", err)
+		os.Exit(2)
+	}
+	cfg := config.GoldenCove().WithScheme(scheme).WithPhysRegs(*regs)
+	cfg.RedefineDelay = *delay
+	cfg.WalkRecovery = *walk
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim:", err)
+		os.Exit(2)
+	}
+
+	prog := p.Generate()
+	cpu := pipeline.New(cfg, prog)
+	start := time.Now()
+	res := cpu.Run(*n)
+	elapsed := time.Since(start)
+
+	fmt.Printf("benchmark      %s (%s), %d static instructions\n", p.Name, p.Class, prog.Len())
+	fmt.Printf("scheme         %v, %d physical registers/class, redefine delay %d\n",
+		scheme, *regs, *delay)
+	fmt.Printf("committed      %d instructions in %d cycles (IPC %.3f)\n",
+		res.Committed, res.Cycles, res.IPC)
+	fmt.Printf("branches       %.2f%% conditional accuracy, %.2f%% indirect\n",
+		100*res.BranchAccuracy, 100*res.IndirectAccuracy)
+	fmt.Printf("recovery       %d mispredicts, %d flushes, %d exceptions\n",
+		res.Mispredicts, res.Flushes, res.Exceptions)
+	fmt.Printf("memory         %.2f%% L1D hit rate\n", 100*res.L1DHitRate)
+	fmt.Printf("renaming       %d stalls, %.1f regs live on average\n",
+		res.RenameStalls, res.AvgRegsLive)
+
+	led := cpu.Engine.Ledger
+	iu, un, vu := led.StateFractions()
+	nb, ne, at := led.RegionFractions()
+	fmt.Printf("lifecycle      in-use %.1f%%, unused %.1f%%, verified-unused %.1f%%\n",
+		100*iu, 100*un, 100*vu)
+	fmt.Printf("regions        non-branch %.1f%%, non-except %.1f%%, atomic %.1f%%\n",
+		100*nb, 100*ne, 100*at)
+	gr, gc, gm := led.EventGaps()
+	fmt.Printf("atomic gaps    rename->redefine %.1f, ->consume %.1f, ->commit %.1f cycles\n",
+		gr, gc, gm)
+	st := cpu.Engine.Stats
+	fmt.Printf("releases       atr %d, nonspec-er %d, commit %d, flush %d (claims %d)\n",
+		st.Get("release.atr"), st.Get("release.er"),
+		st.Get("release.commit"), st.Get("release.flush"), st.Get("atr.claims"))
+	if *verbose {
+		fmt.Printf("\ncounters:\n%s", st.String())
+	}
+	fmt.Printf("simulated at   %.0fk instructions/second\n",
+		float64(res.Committed)/elapsed.Seconds()/1000)
+
+	if err := cpu.Engine.CheckInvariants(); err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim: INVARIANT VIOLATION:", err)
+		os.Exit(1)
+	}
+}

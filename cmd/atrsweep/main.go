@@ -1,0 +1,55 @@
+// Command atrsweep regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	atrsweep [-n instructions] [-fig 1|4|6|10|11|12|13|14|15|logic|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"atr/internal/experiments"
+)
+
+func main() {
+	n := flag.Uint64("n", 40000, "instructions per simulation")
+	fig := flag.String("fig", "all", "figure to regenerate (1,4,6,10,11,12,13,14,15,logic,ablations,all)")
+	flag.Parse()
+
+	r := experiments.NewRunner(*n)
+	w := os.Stdout
+	start := time.Now()
+	switch *fig {
+	case "1":
+		experiments.Fig1(r, w)
+	case "4":
+		experiments.Fig4(r, w)
+	case "6":
+		experiments.Fig6(r, w)
+	case "10":
+		experiments.Fig10(r, w)
+	case "11":
+		experiments.Fig11(r, w)
+	case "12":
+		experiments.Fig12(r, w)
+	case "13":
+		experiments.Fig13(r, w)
+	case "14":
+		experiments.Fig14(r, w)
+	case "15":
+		experiments.Fig15(r, w)
+	case "logic":
+		experiments.Logic(w)
+	case "ablations":
+		experiments.Ablations(r, w)
+	case "all":
+		experiments.All(r, w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start))
+}

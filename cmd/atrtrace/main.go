@@ -1,0 +1,184 @@
+// Command atrtrace records and inspects committed-instruction traces (the
+// analog of Scarab's trace-based frontend tooling).
+//
+// Usage:
+//
+//	atrtrace record -bench omnetpp -n 100000 -o omnetpp.atrt
+//	atrtrace info -i omnetpp.atrt
+//	atrtrace regions -bench omnetpp -i omnetpp.atrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+	"atr/internal/trace"
+	"atr/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	bench := fs.String("bench", "omnetpp", "benchmark profile")
+	n := fs.Int("n", 100_000, "instructions")
+	out := fs.String("o", "", "output trace file")
+	in := fs.String("i", "", "input trace file")
+	fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "record":
+		record(*bench, *n, *out)
+	case "info":
+		info(*in)
+	case "regions":
+		regions(*bench, *in, *n)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: atrtrace record|info|regions [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "atrtrace:", err)
+	os.Exit(1)
+}
+
+func mustProfile(name string) workload.Profile {
+	p, ok := workload.ByName(name)
+	if !ok {
+		die(fmt.Errorf("unknown benchmark %q", name))
+	}
+	return p
+}
+
+func record(bench string, n int, out string) {
+	if out == "" {
+		die(fmt.Errorf("record needs -o"))
+	}
+	p := mustProfile(bench)
+	prog := p.Generate()
+	f, err := os.Create(out)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		die(err)
+	}
+	emu := program.NewEmulator(prog)
+	for i := 0; i < n; i++ {
+		rec, ok := emu.Step()
+		if !ok {
+			break
+		}
+		if err := w.Write(trace.FromProgram(rec)); err != nil {
+			die(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", w.Count(), out)
+}
+
+func info(in string) {
+	if in == "" {
+		die(fmt.Errorf("info needs -i"))
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		die(err)
+	}
+	var total, branches, taken, loads, stores uint64
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			die(err)
+		}
+		total++
+		switch {
+		case rec.Op == isa.OpLoad:
+			loads++
+		case rec.Op == isa.OpStore:
+			stores++
+		case rec.Op.IsControl():
+			branches++
+			if rec.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("records   %d\n", total)
+	fmt.Printf("loads     %d (%.1f%%)\n", loads, pct(loads, total))
+	fmt.Printf("stores    %d (%.1f%%)\n", stores, pct(stores, total))
+	fmt.Printf("control   %d (%.1f%%), %.1f%% taken\n", branches, pct(branches, total), pct(taken, branches))
+}
+
+func regions(bench, in string, n int) {
+	p := mustProfile(bench)
+	prog := p.Generate()
+	a := trace.NewAnalyzer(prog, isa.ClassGPR)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			die(err)
+		}
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				die(err)
+			}
+			a.Step(rec)
+		}
+	} else {
+		emu := program.NewEmulator(prog)
+		for i := 0; i < n; i++ {
+			rec, ok := emu.Step()
+			if !ok {
+				break
+			}
+			a.Step(trace.FromProgram(rec))
+		}
+	}
+	res := a.Result()
+	fmt.Printf("allocations %d\n", res.Allocations)
+	fmt.Printf("non-branch  %.1f%%\n", 100*res.NonBranch)
+	fmt.Printf("non-except  %.1f%%\n", 100*res.NonExcept)
+	fmt.Printf("atomic      %.1f%%\n", 100*res.Atomic)
+	fmt.Printf("consumers per atomic region: mean %.2f\n", res.Consumers.Mean())
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,55 @@
+// Interrupts demonstrates the §4.1 interrupt-handling extension: with ATR,
+// an interrupt that wants to flush the pipeline must wait until no atomic
+// commit region straddles the flush boundary (the open-region counter), or
+// fall back to draining the ROB. Both modes preserve architectural state,
+// which the example verifies against the in-order emulator.
+package main
+
+import (
+	"fmt"
+
+	"atr/internal/config"
+	"atr/internal/pipeline"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+func main() {
+	p := workload.Micro(123)
+	prog := p.Generate()
+	const n = 20_000
+
+	fmt.Println("interrupt handling under the combined release scheme")
+	fmt.Printf("%-8s %10s %10s %12s %10s\n", "mode", "cycles", "IPC", "interrupts", "verified")
+
+	for _, mode := range []config.InterruptMode{config.InterruptDrain, config.InterruptFlush} {
+		cfg := config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(96)
+		cfg.InterruptMode = mode
+		cfg.InterruptInterval = 1000
+		cfg.InterruptCost = 50
+
+		// Verify architectural equivalence while running.
+		emu := program.NewEmulator(prog)
+		cpu := pipeline.New(cfg, prog)
+		mismatches := 0
+		cpu.OnCommit = func(got program.Record) {
+			want, _ := emu.Step()
+			if got != want {
+				mismatches++
+			}
+		}
+		res := cpu.Run(n)
+		name := "drain"
+		if mode == config.InterruptFlush {
+			name = "flush"
+		}
+		ok := "state intact"
+		if mismatches > 0 {
+			ok = fmt.Sprintf("%d MISMATCHES", mismatches)
+		}
+		fmt.Printf("%-8s %10d %10.3f %12d %10s\n", name, res.Cycles, res.IPC, res.Interrupts, ok)
+	}
+	fmt.Println("\nthe flush mode discards only the not-yet-precommitted ROB suffix and")
+	fmt.Println("defers while the precommit-boundary open-region counter is non-zero;")
+	fmt.Println("the drain mode needs no ATR-specific support at all (§4.1).")
+}

@@ -1,0 +1,87 @@
+// Moveelim demonstrates the paper's §6 composition of ATR with register-move
+// elimination: moves stop allocating physical registers (they alias their
+// source under a reference count), ATR recycles atomic-region registers
+// early, and the two compose — each release drops one reference, the
+// register frees at zero.
+package main
+
+import (
+	"fmt"
+
+	"atr/internal/config"
+	"atr/internal/isa"
+	"atr/internal/pipeline"
+	"atr/internal/program"
+)
+
+func main() {
+	// A register-hungry loop: each iteration issues a long-latency load,
+	// then churns through temporaries — half of them plain moves — that
+	// are independent of the load. The baseline holds every temporary
+	// until in-order commit crawls past the miss; move elimination stops
+	// allocating for the moves, and ATR recycles the rest early.
+	b := program.NewBuilder(1, 2)
+	b.ALU(isa.R0, isa.RegInvalid, isa.RegInvalid, 3000) // counter
+	b.Mul(isa.R1, isa.R0, isa.R0, 7)
+	b.Label("loop")
+	b.Mul(isa.R1, isa.R1, isa.RegInvalid, 13)
+	b.Load(isa.R2, isa.R1, 0x10000, 16<<20, 0) // long-latency miss
+	for k := 0; k < 3; k++ {
+		b.ALU(isa.R3, isa.R8, isa.R9, 1)
+		b.Move(isa.R4, isa.R3) // interpreter-style value shuffling
+		b.ALU(isa.R5, isa.R4, isa.R3, 2)
+		b.Move(isa.R6, isa.R5)
+		b.ALU(isa.R3, isa.R6, isa.R4, 3)
+		b.Move(isa.R4, isa.R3)
+	}
+	b.ALU(isa.R7, isa.R6, isa.R2, 0) // fold in the loaded value
+	b.Store(isa.R1, isa.R7, 0x10000, 16<<20, 8)
+	b.ALU(isa.R0, isa.R0, isa.RegInvalid, -1)
+	b.Cmp(isa.R0, isa.RegInvalid, 0)
+	b.Branch(program.PredNotZero, "loop")
+	prog := b.MustBuild()
+	const regs, n = 48, 40_000
+
+	type variant struct {
+		name string
+		mut  func(*config.Config)
+	}
+	variants := []variant{
+		{"baseline", func(c *config.Config) {}},
+		{"move-elim", func(c *config.Config) { c.MoveElimination = true }},
+		{"atr", func(c *config.Config) { c.Scheme = config.SchemeATR }},
+		{"atr+move-elim", func(c *config.Config) {
+			c.Scheme = config.SchemeATR
+			c.MoveElimination = true
+		}},
+	}
+
+	fmt.Printf("workload: %d static instructions/iteration, 1/4 moves, %d physical registers/class\n\n", prog.Len(), regs)
+	fmt.Printf("%-15s %10s %8s %12s %12s %12s\n",
+		"variant", "cycles", "IPC", "eliminated", "atr-release", "speedup")
+	var base float64
+	for _, v := range variants {
+		cfg := config.GoldenCove().WithPhysRegs(regs)
+		v.mut(&cfg)
+		cpu := pipeline.New(cfg, prog)
+		res := cpu.Run(n)
+		if v.name == "baseline" {
+			base = float64(res.Cycles)
+		}
+		fmt.Printf("%-15s %10d %8.3f %12d %12d %+11.2f%%\n",
+			v.name, res.Cycles, res.IPC,
+			cpu.Engine.Stats.Get("rename.moveelim"),
+			cpu.Engine.Stats.Get("release.atr"),
+			100*(base/float64(res.Cycles)-1))
+		if err := cpu.Engine.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("\neach eliminated move is an allocation that never happened; each ATR")
+	fmt.Println("release is an allocation returned early. Note the interference visible")
+	fmt.Println("on this move-chained kernel: sharing couples the consumer counters of")
+	fmt.Println("aliased mappings, so claims wait for consumers of *all* names of a")
+	fmt.Println("register and ATR alone can beat the combination here. Across the full")
+	fmt.Println("benchmark suite the composition is net-positive (run:")
+	fmt.Println("  go run ./cmd/atrsweep -fig ablations).")
+}

@@ -1,0 +1,44 @@
+// Rfsweep sweeps the physical register file size for one benchmark and
+// prints IPC under every release scheme — a per-benchmark slice of the
+// paper's Figures 1, 10 and 11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atr/internal/config"
+	"atr/internal/pipeline"
+	"atr/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "x264", "benchmark profile name")
+	n := flag.Uint64("n", 40_000, "instructions per run")
+	flag.Parse()
+
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rfsweep: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	prog := p.Generate()
+
+	sizes := []int{64, 96, 128, 160, 192, 224, 256, 280}
+	fmt.Printf("benchmark %s: IPC by register file size and scheme\n\n", p.Name)
+	fmt.Printf("%6s  %9s %10s %9s %9s  %12s\n",
+		"regs", "baseline", "nonspec-er", "atomic", "combined", "atomic gain")
+	for _, size := range sizes {
+		ipcs := map[config.ReleaseScheme]float64{}
+		for _, s := range config.Schemes() {
+			cfg := config.GoldenCove().WithScheme(s).WithPhysRegs(size)
+			ipcs[s] = pipeline.New(cfg, prog).Run(*n).IPC
+		}
+		fmt.Printf("%6d  %9.3f %10.3f %9.3f %9.3f  %+11.2f%%\n",
+			size,
+			ipcs[config.SchemeBaseline], ipcs[config.SchemeNonSpecER],
+			ipcs[config.SchemeATR], ipcs[config.SchemeCombined],
+			100*(ipcs[config.SchemeATR]/ipcs[config.SchemeBaseline]-1))
+	}
+}

@@ -1,0 +1,3 @@
+module atr
+
+go 1.22

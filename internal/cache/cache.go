@@ -1,0 +1,336 @@
+// Package cache models the memory hierarchy of Table 1: set-associative
+// write-back caches with LRU replacement (L1I, L1D, unified L2, shared LLC),
+// a fixed-latency DRAM backend, MSHRs that merge outstanding misses per
+// line, and a stream prefetcher.
+package cache
+
+import "atr/internal/config"
+
+// Cache is one set-associative cache level with LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways; 0 = invalid (tags stored with +1 bias)
+	lru       []uint64 // per-line last-use stamp
+	dirty     []bool
+	stamp     uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds a cache from a level configuration.
+func New(cfg config.CacheConfig) *Cache {
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*cfg.Ways),
+		lru:       make([]uint64, sets*cfg.Ways),
+		dirty:     make([]bool, sets*cfg.Ways),
+	}
+}
+
+// LineAddr returns the line-aligned address for addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) setOf(line uint64) int {
+	return int((line >> c.lineShift) % uint64(c.sets))
+}
+
+// Lookup probes for addr's line. A hit refreshes LRU state and sets the
+// dirty bit when write is true.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	line := c.LineAddr(addr)
+	base := c.setOf(line) * c.ways
+	c.stamp++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line+1 {
+			c.lru[base+w] = c.stamp
+			if write {
+				c.dirty[base+w] = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill installs addr's line, evicting the LRU way. It returns the evicted
+// line address and whether it was dirty (for writeback accounting); evicted
+// is 0 when the victim way was invalid.
+func (c *Cache) Fill(addr uint64, write bool) (evicted uint64, wasDirty bool) {
+	line := c.LineAddr(addr)
+	base := c.setOf(line) * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = base + w
+			break
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	if c.tags[victim] != 0 {
+		evicted = c.tags[victim] - 1
+		wasDirty = c.dirty[victim]
+	}
+	c.stamp++
+	c.tags[victim] = line + 1
+	c.lru[victim] = c.stamp
+	c.dirty[victim] = write
+	return evicted, wasDirty
+}
+
+// Contains probes without updating any state (for tests and prefetch
+// filtering).
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.LineAddr(addr)
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// HitRate returns hits/(hits+misses).
+func (c *Cache) HitRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}
+
+// mshrSet models a finite pool of miss-status holding registers. Each
+// in-flight line has a completion time; accesses to an in-flight line merge.
+type mshrSet struct {
+	inflight map[uint64]uint64 // line -> ready cycle
+	slots    []uint64          // busy-until per MSHR
+}
+
+func newMSHRSet(n int) *mshrSet {
+	return &mshrSet{inflight: make(map[uint64]uint64), slots: make([]uint64, n)}
+}
+
+// reserve finds when a new miss to line can start given MSHR availability,
+// records it as in flight until ready, and returns the adjusted start time.
+func (m *mshrSet) reserve(line, now, ready uint64) (start uint64, merged bool, mergedReady uint64) {
+	if r, ok := m.inflight[line]; ok && r > now {
+		return now, true, r
+	}
+	// Find the MSHR that frees earliest.
+	best := 0
+	for i, busy := range m.slots {
+		if busy < m.slots[best] {
+			best = i
+		}
+	}
+	start = now
+	if m.slots[best] > now {
+		start = m.slots[best]
+	}
+	delta := start - now
+	m.slots[best] = ready + delta
+	m.inflight[line] = ready + delta
+	// Opportunistically clean finished entries to bound the map.
+	if len(m.inflight) > 4*len(m.slots) {
+		for l, r := range m.inflight {
+			if r <= now {
+				delete(m.inflight, l)
+			}
+		}
+	}
+	return start, false, 0
+}
+
+// Hierarchy is the full memory system. All latencies are cycle counts; an
+// access at cycle `now` completes at the returned cycle.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	LLC *Cache
+
+	cfg   config.Config
+	mshrs *mshrSet
+	pref  *StreamPrefetcher
+
+	DemandMisses  uint64
+	PrefetchFills uint64
+}
+
+// NewHierarchy builds the Table 1 memory system.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	h := &Hierarchy{
+		L1I:   New(cfg.L1I),
+		L1D:   New(cfg.L1D),
+		L2:    New(cfg.L2),
+		LLC:   New(cfg.LLC),
+		cfg:   cfg,
+		mshrs: newMSHRSet(cfg.MSHRs),
+	}
+	if cfg.StreamPrefetch {
+		h.pref = NewStreamPrefetcher(8, 4)
+	}
+	return h
+}
+
+// AccessData performs a data access and returns its completion cycle.
+func (h *Hierarchy) AccessData(addr uint64, write bool, now uint64) uint64 {
+	lat := uint64(h.cfg.L1D.Latency)
+	if h.L1D.Lookup(addr, write) {
+		return now + lat
+	}
+	h.DemandMisses++
+	line := h.L1D.LineAddr(addr)
+	ready := now + h.missLatency(addr, write, now)
+	start, merged, mr := h.mshrs.reserve(line, now, ready)
+	if merged {
+		if p := h.pref; p != nil {
+			h.runPrefetch(addr, now)
+		}
+		return mr + lat
+	}
+	ready += start - now
+	h.L1D.Fill(addr, write)
+	if h.pref != nil {
+		h.runPrefetch(addr, now)
+	}
+	return ready + lat
+}
+
+// missLatency walks the lower levels, filling on the way back, and returns
+// the added latency beyond the L1 access.
+func (h *Hierarchy) missLatency(addr uint64, write bool, now uint64) uint64 {
+	if h.L2.Lookup(addr, false) {
+		return uint64(h.cfg.L2.Latency)
+	}
+	h.L2.Fill(addr, false)
+	if h.LLC.Lookup(addr, false) {
+		return uint64(h.cfg.L2.Latency + h.cfg.LLC.Latency)
+	}
+	h.LLC.Fill(addr, false)
+	return uint64(h.cfg.L2.Latency + h.cfg.LLC.Latency + h.cfg.MemLatency)
+}
+
+// runPrefetch trains the stream prefetcher on a demand miss and issues its
+// prefetches into L2 (and L1D), modeling timely fills.
+func (h *Hierarchy) runPrefetch(addr uint64, now uint64) {
+	lines := h.pref.Train(h.L1D.LineAddr(addr), 1<<h.L1D.lineShift)
+	for _, l := range lines {
+		if !h.L2.Contains(l) {
+			h.L2.Fill(l, false)
+			if !h.LLC.Contains(l) {
+				h.LLC.Fill(l, false)
+			}
+			h.PrefetchFills++
+		}
+		if !h.L1D.Contains(l) {
+			h.L1D.Fill(l, false)
+		}
+	}
+}
+
+// AccessInst performs an instruction fetch access for the line containing
+// addr and returns its completion cycle. The FDIP-style fetch-directed
+// prefetcher is approximated by next-line prefetch on I-cache misses.
+func (h *Hierarchy) AccessInst(addr uint64, now uint64) uint64 {
+	lat := uint64(h.cfg.L1I.Latency)
+	if h.L1I.Lookup(addr, false) {
+		return now + lat
+	}
+	extra := h.missLatency(addr, false, now)
+	h.L1I.Fill(addr, false)
+	// Next-line instruction prefetch (FDIP approximation).
+	next := h.L1I.LineAddr(addr) + uint64(1)<<h.L1I.lineShift
+	if !h.L1I.Contains(next) {
+		h.L1I.Fill(next, false)
+		if !h.L2.Contains(next) {
+			h.L2.Fill(next, false)
+		}
+	}
+	return now + lat + extra
+}
+
+// StreamPrefetcher detects ascending or descending line streams within 4 KiB
+// regions and prefetches `degree` lines ahead after `threshold` hits in the
+// same direction.
+type StreamPrefetcher struct {
+	entries   []streamEntry
+	degree    int
+	threshold int
+}
+
+type streamEntry struct {
+	page     uint64
+	lastLine uint64
+	dir      int64
+	count    int
+	valid    bool
+}
+
+// NewStreamPrefetcher creates a prefetcher tracking `streams` concurrent
+// streams with the given prefetch degree.
+func NewStreamPrefetcher(streams, degree int) *StreamPrefetcher {
+	return &StreamPrefetcher{
+		entries:   make([]streamEntry, streams),
+		degree:    degree,
+		threshold: 2,
+	}
+}
+
+// Train observes a demand-missed line address and returns the line addresses
+// to prefetch (possibly none).
+func (p *StreamPrefetcher) Train(line uint64, lineBytes uint64) []uint64 {
+	page := line >> 12
+	var victim *streamEntry
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.page == page {
+			dir := int64(1)
+			if line < e.lastLine {
+				dir = -1
+			}
+			if line == e.lastLine {
+				return nil
+			}
+			if dir == e.dir {
+				e.count++
+			} else {
+				e.dir = dir
+				e.count = 1
+			}
+			e.lastLine = line
+			if e.count < p.threshold {
+				return nil
+			}
+			out := make([]uint64, 0, p.degree)
+			cur := line
+			for i := 0; i < p.degree; i++ {
+				cur = uint64(int64(cur) + e.dir*int64(lineBytes))
+				out = append(out, cur)
+			}
+			return out
+		}
+		if victim == nil || !e.valid {
+			victim = e
+		}
+	}
+	if victim == nil {
+		victim = &p.entries[0]
+	}
+	*victim = streamEntry{page: page, lastLine: line, dir: 1, count: 1, valid: true}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"atr/internal/isa"
+)
+
+// FlushWalker implements the paper's double-free-avoidance algorithm for
+// flush recovery (§4.2.4) exactly as specified in hardware terms: two bits
+// of storage per architectural register ID (a redefined bit and a consumed
+// bit) instead of the simulator's exact generation tags.
+//
+// The walk visits flushed instructions from the tail (youngest) to the flush
+// point, the same direction as baseline ptag reclamation (§4.2.1). For each
+// instruction, in order:
+//
+//  1. if its destination's architectural register has both the redefined and
+//     consumed bits set, its own allocated ptag was already early released by
+//     ATR and must be skipped; both bits are then cleared;
+//  2. if the instruction's previous-ptag field is invalid (ATR claimed the
+//     release), both bits are set for its destination's architectural
+//     register;
+//  3. for each source register whose redefined bit is set, if the
+//     instruction has not yet issued its pending consumer-count decrement
+//     never happened, so the claimed register cannot have been released:
+//     the consumed bit is cleared.
+//
+// Steps 2 and 3 are deliberately swapped relative to the paper's §4.2.4
+// prose ("second ... sources, third ... destination"): for a self-redefining
+// instruction (r1 <- r1,r2) the pending source read references the region
+// the instruction's own claim opens, so the source processing must observe
+// the instruction's own redefined bit. The property test against the
+// generation-tagged oracle (TestFlushWalkerMatchesOracle) fails under the
+// paper's stated order and passes under this one.
+//
+// Because an atomic region flushes as a unit, every bit set at step 3 for a
+// flushed redefiner is consumed at step 1 by the (also flushed, older)
+// allocating instruction — the walk always ends with all bits clear, which
+// Walk verifies.
+type FlushWalker struct {
+	redefined [isa.NumClasses][]bool
+	consumed  [isa.NumClasses][]bool
+}
+
+// NewFlushWalker allocates the 2×(17+16)-bit flag state.
+func NewFlushWalker() *FlushWalker {
+	w := &FlushWalker{}
+	w.redefined[isa.ClassGPR] = make([]bool, isa.NumGPR)
+	w.consumed[isa.ClassGPR] = make([]bool, isa.NumGPR)
+	w.redefined[isa.ClassFPR] = make([]bool, isa.NumFPR)
+	w.consumed[isa.ClassFPR] = make([]bool, isa.NumFPR)
+	return w
+}
+
+// FlushRecord is the walker's view of one flushed instruction.
+type FlushRecord struct {
+	Out    *RenameOut
+	Srcs   []isa.Reg // architectural source registers
+	Issued bool      // the instruction had read its sources before the flush
+}
+
+// Walk runs the algorithm over flushed instructions ordered youngest first
+// and returns the ptags to reclaim (everything allocated by the flushed
+// instructions except those ATR already released). It returns an error if
+// any flag is still set at the end, which would indicate a broken atomicity
+// invariant.
+func (w *FlushWalker) Walk(recs []FlushRecord) ([]Alloc, error) {
+	var reclaim []Alloc
+	for _, rec := range recs {
+		// Step 1: decide this instruction's own allocations.
+		for i := 0; i < isa.MaxDsts; i++ {
+			d := rec.Out.Dsts[i]
+			if !d.New.Valid() || !d.Reg.Valid() {
+				continue
+			}
+			c, a := d.Reg.Class(), d.Reg.ClassIndex()
+			if w.redefined[c][a] && w.consumed[c][a] {
+				// Already early released by ATR: skip.
+			} else {
+				reclaim = append(reclaim, d.New)
+			}
+			w.redefined[c][a] = false
+			w.consumed[c][a] = false
+		}
+		// Record claims made by this instruction, then process its
+		// pending source reads. NOTE: the paper states the opposite
+		// order (sources before own-destination claims), but that is
+		// incorrect for self-redefining instructions (r1 <- r1,r2):
+		// the instruction's own pending read references its *previous*
+		// mapping — the very region its own claim opens — so the
+		// consumed-bit clear must observe this instruction's redefined
+		// bit. For every other source, regions nest along the
+		// definition chain and the order is immaterial.
+		for i := 0; i < isa.MaxDsts; i++ {
+			d := rec.Out.Dsts[i]
+			if !d.New.Valid() || !d.Reg.Valid() || d.PrevValid {
+				continue
+			}
+			c, a := d.Reg.Class(), d.Reg.ClassIndex()
+			w.redefined[c][a] = true
+			w.consumed[c][a] = true
+		}
+		// An unissued consumer pins its sources' claimed registers
+		// (their counters never reached zero).
+		if !rec.Issued {
+			for _, s := range rec.Srcs {
+				if !s.Valid() {
+					continue
+				}
+				c, a := s.Class(), s.ClassIndex()
+				if w.redefined[c][a] {
+					w.consumed[c][a] = false
+				}
+			}
+		}
+	}
+	for c := range w.redefined {
+		for a := range w.redefined[c] {
+			if w.redefined[c][a] || w.consumed[c][a] {
+				return reclaim, fmt.Errorf("core: flush walk ended with flags set for class %d arch %d: atomic region not flushed as a unit", c, a)
+			}
+		}
+	}
+	return reclaim, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/isa"
+)
+
+func TestFlushWalkerSkipsReleased(t *testing.T) {
+	// Figure 8 scenario, then a flush of the whole region: the walker
+	// must reclaim everything except the already-released register.
+	e := NewEngine(testCfg(config.SchemeATR))
+	poison(e)
+	i1 := alu(isa.R1, isa.R2)
+	out1 := e.Rename(&i1, 1)
+	complete(e, &out1, 1)
+	i2 := alu(isa.R2, isa.R1)
+	out2 := e.Rename(&i2, 2)
+	i3 := alu(isa.R1, isa.R3)
+	out3 := e.Rename(&i3, 3)
+	if out3.Dsts[0].PrevValid {
+		t.Fatal("setup: expected claim")
+	}
+	e.ConsumerIssued(out2.Srcs[0], 4) // releases out1's register
+
+	w := NewFlushWalker()
+	recs := []FlushRecord{
+		{Out: &out3, Srcs: []isa.Reg{isa.R3}, Issued: false},
+		{Out: &out2, Srcs: []isa.Reg{isa.R1}, Issued: true},
+		{Out: &out1, Srcs: []isa.Reg{isa.R2}, Issued: true},
+	}
+	reclaim, err := w.Walk(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out1's register was ATR-released: must NOT be reclaimed. out2's and
+	// out3's must be.
+	want := map[Alloc]bool{out2.Dsts[0].New: true, out3.Dsts[0].New: true}
+	if len(reclaim) != 2 {
+		t.Fatalf("reclaim = %v, want exactly out2+out3 allocations", reclaim)
+	}
+	for _, a := range reclaim {
+		if !want[a] {
+			t.Errorf("unexpected reclaim of %v", a)
+		}
+	}
+}
+
+func TestFlushWalkerUnissuedConsumerPins(t *testing.T) {
+	// Same region, but the consumer never issued: the register was not
+	// released, so the walker must reclaim it via the consumed-bit clear.
+	e := NewEngine(testCfg(config.SchemeATR))
+	poison(e)
+	i1 := alu(isa.R1, isa.R2)
+	out1 := e.Rename(&i1, 1)
+	complete(e, &out1, 1)
+	i2 := alu(isa.R2, isa.R1)
+	out2 := e.Rename(&i2, 2)
+	i3 := alu(isa.R1, isa.R3)
+	out3 := e.Rename(&i3, 3)
+	// No ConsumerIssued: p1 still allocated.
+	p1 := out1.Dsts[0].New
+	if e.banks[p1.Class].pregs[p1.Tag].free {
+		t.Fatal("setup: p1 must still be live")
+	}
+	w := NewFlushWalker()
+	reclaim, err := w.Walk([]FlushRecord{
+		{Out: &out3, Srcs: []isa.Reg{isa.R3}, Issued: false},
+		{Out: &out2, Srcs: []isa.Reg{isa.R1}, Issued: false}, // unissued consumer
+		{Out: &out1, Srcs: []isa.Reg{isa.R2}, Issued: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reclaim) != 3 {
+		t.Fatalf("reclaim = %v, want all three allocations", reclaim)
+	}
+}
+
+func TestFlushWalkerChainedRegions(t *testing.T) {
+	// Nested claims on the same architectural register: r1 redefined
+	// three times, each redefinition claiming its predecessor; all
+	// consumed. The walker's flag ping-pong must skip both released
+	// registers and reclaim only the youngest.
+	e := NewEngine(testCfg(config.SchemeATR))
+	poison(e)
+	i1 := alu(isa.R1, isa.R2)
+	out1 := e.Rename(&i1, 1)
+	complete(e, &out1, 1)
+	i2 := alu(isa.R1, isa.R3)
+	out2 := e.Rename(&i2, 2)
+	complete(e, &out2, 2)
+	i3 := alu(isa.R1, isa.R4)
+	out3 := e.Rename(&i3, 3)
+	if out2.Dsts[0].PrevValid || out3.Dsts[0].PrevValid {
+		t.Fatal("setup: both redefinitions should claim")
+	}
+	if e.Stats.Get("release.atr") != 2 {
+		t.Fatalf("setup: expected two early releases, got %d", e.Stats.Get("release.atr"))
+	}
+	w := NewFlushWalker()
+	reclaim, err := w.Walk([]FlushRecord{
+		{Out: &out3, Srcs: []isa.Reg{isa.R4}, Issued: false},
+		{Out: &out2, Srcs: []isa.Reg{isa.R3}, Issued: false},
+		{Out: &out1, Srcs: []isa.Reg{isa.R2}, Issued: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reclaim) != 1 || reclaim[0] != out3.Dsts[0].New {
+		t.Errorf("reclaim = %v, want only the youngest allocation", reclaim)
+	}
+}
+
+// TestFlushWalkerMatchesOracle drives random rename/consume sequences and
+// compares the paper's 2-bit walk algorithm against the generation-tagged
+// oracle (the engine's own free-state tracking): the set of ptags the walker
+// reclaims must equal the set the engine still considers live among the
+// flushed allocations.
+func TestFlushWalkerMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	dataRegs := []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R3, isa.R4, isa.R5}
+	for trial := 0; trial < 300; trial++ {
+		e := NewEngine(testCfg(config.SchemeATR).WithPhysRegs(96))
+		poison(e)
+		type instRec struct {
+			out  RenameOut
+			srcs []isa.Reg
+			// pending source allocs not yet issued
+			pend []Alloc
+			iss  bool
+		}
+		var hist []instRec
+		cycle := uint64(1)
+		// Random straight-line block (no flushers inside, so everything
+		// after the leading branch can be flushed as one unit).
+		n := 4 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			dst := dataRegs[r.Intn(len(dataRegs))]
+			s1 := dataRegs[r.Intn(len(dataRegs))]
+			s2 := dataRegs[r.Intn(len(dataRegs))]
+			in := alu(dst, s1, s2)
+			out := e.Rename(&in, cycle)
+			rec := instRec{out: out, srcs: []isa.Reg{s1, s2}}
+			for j := 0; j < out.NumSrcs; j++ {
+				rec.pend = append(rec.pend, out.Srcs[j])
+			}
+			hist = append(hist, rec)
+			cycle++
+			// Randomly issue some older instructions (reads + completion).
+			for k := range hist {
+				if !hist[k].iss && r.Intn(3) == 0 {
+					for _, a := range hist[k].pend {
+						e.ConsumerIssued(a, cycle)
+					}
+					if hist[k].out.NumDsts > 0 {
+						e.ProducerCompleted(hist[k].out.Dsts[0].New, cycle)
+					}
+					hist[k].iss = true
+				}
+			}
+		}
+		// Record which flushed allocations the oracle still holds live.
+		// A claimed, redefined, fully-consumed register whose only
+		// outstanding release condition is its (flushed) producer's
+		// pending write belongs to ATR: the squash clears the write and
+		// the deferred release fires, so the walker rightly skips it.
+		oracle := make(map[Alloc]bool)
+		for _, rec := range hist {
+			for i := 0; i < rec.out.NumDsts; i++ {
+				d := rec.out.Dsts[i]
+				p := &e.banks[d.New.Class].pregs[d.New.Tag]
+				if p.gen != d.New.Gen || p.free {
+					continue
+				}
+				if p.claimed && p.redefined && p.count == 0 {
+					continue // deferred ATR release
+				}
+				oracle[d.New] = true
+			}
+		}
+		// Run the paper's walk over the whole block, youngest first.
+		w := NewFlushWalker()
+		var recs []FlushRecord
+		for i := len(hist) - 1; i >= 0; i-- {
+			recs = append(recs, FlushRecord{
+				Out:    &hist[i].out,
+				Srcs:   hist[i].srcs,
+				Issued: hist[i].iss,
+			})
+		}
+		reclaim, err := w.Walk(recs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := make(map[Alloc]bool, len(reclaim))
+		for _, a := range reclaim {
+			if got[a] {
+				t.Fatalf("trial %d: walker reclaimed %v twice", trial, a)
+			}
+			got[a] = true
+		}
+		for a := range oracle {
+			if !got[a] {
+				t.Fatalf("trial %d: walker missed live allocation %v (leak)", trial, a)
+			}
+		}
+		for a := range got {
+			if !oracle[a] {
+				t.Fatalf("trial %d: walker reclaimed released allocation %v (double free)", trial, a)
+			}
+		}
+	}
+}

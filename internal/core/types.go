@@ -1,0 +1,83 @@
+// Package core implements the register renaming and release machinery that
+// is the subject of the paper: the speculative renaming table (SRT), the
+// physical register free list, per-register consumer counters, atomic commit
+// region detection with bulk no-early-release marking (§4.2.2), early atomic
+// release (§4.2.3), double-free avoidance (§4.2.4), non-speculative early
+// release (§2.3), and the combined scheme (§4.3).
+//
+// The Engine is driven by the pipeline through a small event protocol:
+//
+//	Rename            — allocate destinations, count consumers, detect
+//	                    atomic regions, claim ATR-releasable ptags
+//	ConsumerIssued    — a consumer read its sources (counter decrement)
+//	Tick              — advance the pipelined redefine-signal delay queue
+//	RedefinerPrecommitted / RedefinerCommitted — release points for
+//	                    nonspec-ER and the baseline
+//	AllocFlushed / PrevRedefineUndone — flush-walk notifications
+//
+// Every allocation is generation-tagged so that stale references (a ptag
+// that was early-released and re-allocated) are detected exactly; this is
+// the oracle against which the paper's 2-bit flush-walk algorithm
+// (FlushWalker) is property-tested.
+package core
+
+import (
+	"fmt"
+
+	"atr/internal/isa"
+)
+
+// PTag names a physical register within its class's register file.
+type PTag int32
+
+// PTagInvalid marks an absent physical register reference (the paper's
+// "invalid previous ptag").
+const PTagInvalid PTag = -1
+
+// Alloc identifies one allocation of a physical register: the tag plus a
+// generation number that increments each time the tag is re-allocated.
+// Comparing generations detects stale references exactly.
+type Alloc struct {
+	Class isa.RegClass
+	Tag   PTag
+	Gen   uint32
+}
+
+// Valid reports whether a references a real allocation.
+func (a Alloc) Valid() bool { return a.Tag != PTagInvalid }
+
+func (a Alloc) String() string {
+	if !a.Valid() {
+		return "p-"
+	}
+	c := "p"
+	if a.Class == isa.ClassFPR {
+		c = "fp"
+	}
+	return fmt.Sprintf("%s%d.%d", c, a.Tag, a.Gen)
+}
+
+// DstAlloc is the rename outcome for one destination register: the new
+// mapping plus the previous mapping that must eventually be released.
+type DstAlloc struct {
+	Reg isa.Reg
+	New Alloc
+	// Prev is the mapping replaced by this rename. When PrevValid is
+	// false the previous-ptag field was invalidated at rename because ATR
+	// claimed the release (§4.2.4); commit must then not free it.
+	Prev      Alloc
+	PrevValid bool
+
+	// Eliminated marks a move-eliminated destination: New aliases the
+	// move's source register (no allocation happened), so the pipeline
+	// must not reset its readiness or write it back.
+	Eliminated bool
+}
+
+// RenameOut is the result of renaming one instruction.
+type RenameOut struct {
+	Srcs [isa.MaxSrcs]Alloc
+	Dsts [isa.MaxDsts]DstAlloc
+	// NumDsts and NumSrcs give the count of valid entries.
+	NumDsts, NumSrcs int
+}

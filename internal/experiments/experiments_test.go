@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/workload"
+)
+
+// testRunner keeps experiment tests fast: small instruction budget.
+func testRunner() *Runner { return NewRunner(8000) }
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := testRunner()
+	p, _ := workload.ByName("exchange2")
+	cfg := config.GoldenCove().WithPhysRegs(64)
+	a := r.Run(p, cfg)
+	b := r.Run(p, cfg)
+	if a != b {
+		t.Error("memoized runs differ")
+	}
+	if a.Committed == 0 || a.IPC <= 0 {
+		t.Errorf("empty run stats: %+v", a.Result)
+	}
+}
+
+func TestRunnerKeyDistinguishesConfigs(t *testing.T) {
+	p, _ := workload.ByName("exchange2")
+	a := key(p, config.GoldenCove().WithPhysRegs(64))
+	b := key(p, config.GoldenCove().WithPhysRegs(96))
+	c := key(p, config.GoldenCove().WithPhysRegs(64).WithScheme(config.SchemeATR))
+	if a == b || a == c {
+		t.Error("keys collide across configs")
+	}
+}
+
+func TestRunStatsPopulated(t *testing.T) {
+	r := testRunner()
+	p, _ := workload.ByName("omnetpp")
+	s := r.Run(p, config.GoldenCove().WithScheme(config.SchemeATR).WithPhysRegs(64))
+	if s.Atomic <= 0 {
+		t.Error("atomic ratio missing")
+	}
+	if s.InUse+s.Unused+s.Verified < 0.99 {
+		t.Errorf("state split incomplete: %v+%v+%v", s.InUse, s.Unused, s.Verified)
+	}
+	if s.ATRReleases == 0 {
+		t.Error("no ATR releases recorded")
+	}
+	if s.Power.Total() <= 0 {
+		t.Error("power model not evaluated")
+	}
+	if s.GapCommit < s.GapRedefine {
+		t.Error("commit gap must not precede redefine gap")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := testRunner()
+	res := Fig1(r, io.Discard)
+	if len(res.Average) != len(RFSizes) {
+		t.Fatal("missing sizes")
+	}
+	// Normalized IPC must be (weakly) increasing in RF size and below ~1.
+	if res.Average[0] >= res.Average[len(res.Average)-1] {
+		t.Errorf("no register sensitivity: %v", res.Average)
+	}
+	if res.Avg64Ratio <= 0.1 || res.Avg64Ratio >= 1.0 {
+		t.Errorf("64-reg ratio %.3f implausible (paper 0.377)", res.Avg64Ratio)
+	}
+	for _, v := range res.Average {
+		if v > 1.05 {
+			t.Errorf("normalized IPC %v exceeds ideal", v)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r := testRunner()
+	res := Fig4(r, io.Discard)
+	sum := res.IntInUse + res.IntUnused + res.IntVerified
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("int fractions sum to %v", sum)
+	}
+	if res.IntInUse <= 0 || res.IntUnused <= 0 {
+		t.Error("degenerate state split")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r := testRunner()
+	res := Fig6(r, io.Discard)
+	// The paper's headline analysis: a sizeable fraction of allocations is
+	// atomic (17% int / 13% fp). Accept a generous band.
+	if res.IntAtomic < 0.08 || res.IntAtomic > 0.35 {
+		t.Errorf("int atomic ratio %.3f outside band around the paper's 0.17", res.IntAtomic)
+	}
+	if res.FPAtomic < 0.05 || res.FPAtomic > 0.30 {
+		t.Errorf("fp atomic ratio %.3f outside band around the paper's 0.13", res.FPAtomic)
+	}
+	for name, v := range res.PerBench {
+		if v[0] < v[2]-1e-9 || v[1] < v[2]-1e-9 {
+			t.Errorf("%s: atomic ratio exceeds its supersets: %v", name, v)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := testRunner()
+	res := Fig10(r, io.Discard)
+	for _, class := range []string{"int", "fp"} {
+		atr64 := res.Avg[64][config.SchemeATR][class]
+		er64 := res.Avg[64][config.SchemeNonSpecER][class]
+		comb64 := res.Avg[64][config.SchemeCombined][class]
+		atr224 := res.Avg[224][config.SchemeATR][class]
+		if atr64 <= 0 {
+			t.Errorf("%s: ATR speedup at 64 regs = %.2f, want positive", class, atr64)
+		}
+		if er64 <= atr64 {
+			t.Errorf("%s: paper ordering ER(%.2f) > ATR(%.2f) violated", class, er64, atr64)
+		}
+		if comb64 < er64-1.0 {
+			t.Errorf("%s: combined (%.2f) should not trail ER (%.2f)", class, comb64, er64)
+		}
+		if atr224 >= atr64 {
+			t.Errorf("%s: ATR gain must shrink with RF size: %.2f@64 vs %.2f@224", class, atr64, atr224)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := testRunner()
+	res := Fig13(r, io.Discard)
+	// The paper: a 1-2 cycle delay has negligible effect. Allow 2 points.
+	if diff := res.IntAvg[0] - res.IntAvg[2]; diff > 2.5 {
+		t.Errorf("delay-2 costs %.2f points, paper says negligible (%v)", diff, res.IntAvg)
+	}
+}
+
+func TestLogicOutput(t *testing.T) {
+	var sb strings.Builder
+	res := Logic(&sb)
+	if res.Naive.Gates <= res.Balanced.Gates {
+		t.Error("naive synthesis should use more gates")
+	}
+	if !strings.Contains(sb.String(), "2,960 gates") {
+		t.Error("missing paper reference in output")
+	}
+}
+
+func TestGeomeanMean(t *testing.T) {
+	if g := geomean([]float64{1, 4}); g != 2 {
+		t.Errorf("geomean = %v", g)
+	}
+	if m := mean([]float64{1, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if geomean(nil) != 0 || mean(nil) != 0 {
+		t.Error("empty slices")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := testRunner()
+	res := Fig11(r, io.Discard)
+	if len(res.IntAvg) != len(RFSizes) || len(res.FPAvg) != len(RFSizes) {
+		t.Fatal("missing points")
+	}
+	// Fig 11's claim: the highest gains are at the smallest file, and the
+	// gain at 280 is a small fraction of the gain at 64.
+	if res.IntAvg[0] <= res.IntAvg[len(res.IntAvg)-1] {
+		t.Errorf("int ATR gain should decay with RF size: %v", res.IntAvg)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := testRunner()
+	res := Fig12(r, io.Discard)
+	if res.AvgMeanConsumed < 0.5 || res.AvgMeanConsumed > 4 {
+		t.Errorf("mean consumers over consumed regions = %.2f, paper says 1-2", res.AvgMeanConsumed)
+	}
+	for name, fr := range res.PerBench {
+		sum := 0.0
+		for _, v := range fr {
+			if v < 0 {
+				t.Errorf("%s: negative fraction %v", name, v)
+			}
+			sum += v
+		}
+		if sum > 1.001 {
+			t.Errorf("%s: fractions sum to %v", name, sum)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := testRunner()
+	res := Fig14(r, io.Discard)
+	for name, g := range res.PerBench {
+		redef, consume, commit := g[0], g[1], g[2]
+		if commit < redef {
+			t.Errorf("%s: commit gap %v before redefine gap %v", name, commit, redef)
+		}
+		// The paper's Fig 14 headline: redefinition happens quickly;
+		// commit of the redefiner is far later.
+		if commit < 5*redef && commit > 0 {
+			t.Errorf("%s: commit gap %v not much later than redefine %v", name, commit, redef)
+		}
+		_ = consume
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := testRunner()
+	res := Fig15(r, io.Discard)
+	for _, s := range config.Schemes() {
+		if res.MinRegs[s] < 64 || res.MinRegs[s] > 280 {
+			t.Errorf("%v: min regs %d out of range", s, res.MinRegs[s])
+		}
+	}
+	// Early-release schemes must not need more registers than baseline.
+	baseMin := res.MinRegs[config.SchemeBaseline]
+	for _, s := range []config.ReleaseScheme{config.SchemeNonSpecER, config.SchemeATR, config.SchemeCombined} {
+		if res.MinRegs[s] > baseMin {
+			t.Errorf("%v needs %d regs, more than baseline's %d", s, res.MinRegs[s], baseMin)
+		}
+	}
+	if res.MinRegs[config.SchemeCombined] > res.MinRegs[config.SchemeATR] {
+		t.Error("combined should not need more registers than ATR alone")
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := testRunner()
+	res := Ablations(r, io.Discard)
+	// §5.4: 3-bit counter within noise of unbounded.
+	if d := res.CounterWidth[0] - res.CounterWidth[3]; d > 1.5 {
+		t.Errorf("3-bit counter loses %.2f points vs unbounded; paper says negligible", d)
+	}
+	if res.CounterWidth[2] > res.CounterWidth[3]+1.0 {
+		t.Error("2-bit counter should not beat 3-bit")
+	}
+	// The translate-time precommit rule is what gives nonspec-ER teeth.
+	if res.PrecommitConservative > res.PrecommitAggressive {
+		t.Error("conservative precommit should not beat aggressive")
+	}
+	// Recovery styles are cycle-identical.
+	if res.WalkRecovery != res.CheckpointRecovery {
+		t.Errorf("recovery styles differ: %v vs %v", res.WalkRecovery, res.CheckpointRecovery)
+	}
+	// §6 composition: ME+ATR at least as good as each alone.
+	if res.MoveElimATR < res.ATROnly-0.5 || res.MoveElimATR < res.MoveElimOnly-0.5 {
+		t.Errorf("ME+ATR (%.2f) should not trail ATR (%.2f) or ME (%.2f)",
+			res.MoveElimATR, res.ATROnly, res.MoveElimOnly)
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("everything")
+	}
+	r := NewRunner(3000) // minimal budget: exercises every code path
+	var sb strings.Builder
+	All(r, &sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "Figure 4", "Figure 6", "Figure 10",
+		"Figure 11", "Figure 12", "Figure 13", "Figure 14", "Figure 15",
+		"Section 4.4", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Figs 1, 4, 6, 10–15 and the §4.4 synthesis numbers) on
+// the synthetic SPEC2017-like workloads. Each experiment prints the same
+// rows/series the paper reports, side by side with the paper's published
+// values where the paper gives a number.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"atr/internal/config"
+	"atr/internal/pipeline"
+	"atr/internal/power"
+	"atr/internal/workload"
+)
+
+// RunStats is everything an experiment needs from one simulation.
+type RunStats struct {
+	pipeline.Result
+
+	// Fig 4 state split.
+	InUse, Unused, Verified float64
+	// Fig 6 region ratios (GPR class, cumulative as in the paper).
+	NonBranch, NonExcept, Atomic float64
+	// Fig 14 event gaps (cycles, atomic regions).
+	GapRedefine, GapConsume, GapCommit float64
+	// Fig 12 consumer-count fractions for atomic regions; index 7 holds
+	// seven-or-more.
+	ConsumerFrac [8]float64
+
+	// Scheme accounting.
+	ATRReleases, ERReleases, CommitReleases uint64
+
+	Activity power.Activity
+	Power    power.Power
+}
+
+// Runner executes simulations in parallel with memoization: experiments
+// share identical (profile, config) runs.
+type Runner struct {
+	// Instr is the per-run instruction budget.
+	Instr uint64
+
+	mu    sync.Mutex
+	cache map[string]*sync.Once
+	res   map[string]RunStats
+	sem   chan struct{}
+}
+
+// NewRunner creates a runner with the given per-run instruction budget.
+func NewRunner(instr uint64) *Runner {
+	if instr == 0 {
+		instr = 40_000
+	}
+	return &Runner{
+		Instr: instr,
+		cache: make(map[string]*sync.Once),
+		res:   make(map[string]RunStats),
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+}
+
+func key(p workload.Profile, cfg config.Config) string {
+	return fmt.Sprintf("%s|%v|%d|%d|%d|%v|%v|%d|%d|%v|%v|%d",
+		p.Name, cfg.Scheme, cfg.PhysRegs, cfg.RedefineDelay,
+		cfg.ConsumerCounterBits, cfg.WalkRecovery, cfg.MemPrecommitAtExec,
+		cfg.InterruptInterval, int(cfg.InterruptMode), cfg.FaultRate,
+		cfg.MoveElimination, cfg.CheckpointBudget)
+}
+
+// Run simulates profile p under cfg (memoized).
+func (r *Runner) Run(p workload.Profile, cfg config.Config) RunStats {
+	k := key(p, cfg)
+	r.mu.Lock()
+	once, ok := r.cache[k]
+	if !ok {
+		once = &sync.Once{}
+		r.cache[k] = once
+	}
+	r.mu.Unlock()
+
+	once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		stats := simulate(p, cfg, r.Instr)
+		r.mu.Lock()
+		r.res[k] = stats
+		r.mu.Unlock()
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.res[k]
+}
+
+// Prefetch launches the given runs in parallel and waits for completion.
+func (r *Runner) Prefetch(ps []workload.Profile, cfgs []config.Config) {
+	var wg sync.WaitGroup
+	for _, p := range ps {
+		for _, cfg := range cfgs {
+			wg.Add(1)
+			go func(p workload.Profile, cfg config.Config) {
+				defer wg.Done()
+				r.Run(p, cfg)
+			}(p, cfg)
+		}
+	}
+	wg.Wait()
+}
+
+func simulate(p workload.Profile, cfg config.Config, instr uint64) RunStats {
+	prog := p.Generate()
+	cpu := pipeline.New(cfg, prog)
+	res := cpu.Run(instr)
+	led := cpu.Engine.Ledger
+
+	out := RunStats{Result: res}
+	out.InUse, out.Unused, out.Verified = led.StateFractions()
+	out.NonBranch, out.NonExcept, out.Atomic = led.RegionFractions()
+	out.GapRedefine, out.GapConsume, out.GapCommit = led.EventGaps()
+	if n := led.ConsumerHist.Count(); n > 0 {
+		for v := 0; v <= 6; v++ {
+			out.ConsumerFrac[v] = led.ConsumerHist.Fraction(v)
+		}
+		var tail float64
+		for v := 0; v <= 6; v++ {
+			tail += out.ConsumerFrac[v]
+		}
+		if tail < 1 {
+			out.ConsumerFrac[7] = 1 - tail
+		}
+	}
+	out.ATRReleases = cpu.Engine.Stats.Get("release.atr")
+	out.ERReleases = cpu.Engine.Stats.Get("release.er")
+	out.CommitReleases = cpu.Engine.Stats.Get("release.commit")
+	out.Activity = cpu.Activity()
+	out.Power = power.RuntimePower(cfg, out.Activity)
+	return out
+}
+
+// geomean returns the geometric mean of xs (which must be positive).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		prod *= x
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

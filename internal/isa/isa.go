@@ -1,0 +1,367 @@
+// Package isa defines the micro-instruction set architecture used by the
+// simulator. It is an x86-64-flavoured abstraction: 16 general-purpose
+// integer registers plus a renamed flags register, 16 floating-point/vector
+// registers, and a small set of operation classes whose only properties that
+// matter to register-release schemes are (a) whether they can redirect
+// control flow, (b) whether they can raise an exception, and (c) their
+// operand registers and execution latency.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. Integer registers and the flags
+// register live in the GPR class; FP registers live in the FP class.
+type Reg uint8
+
+// Architectural register name space. R0..R15 are the integer registers,
+// Flags is the renamed x86-style condition-code register, F0..F15 are the
+// floating-point/vector registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	Flags // condition codes, renamed like any other register
+	F0
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	NumRegs // total architectural registers across both classes
+
+	// RegInvalid marks an unused operand slot.
+	RegInvalid Reg = 0xFF
+)
+
+// NumGPR is the number of integer-class architectural registers (R0..R15
+// plus Flags).
+const NumGPR = int(Flags) + 1
+
+// NumFPR is the number of floating-point-class architectural registers.
+const NumFPR = int(NumRegs) - NumGPR
+
+// RegClass distinguishes the two physical register files.
+type RegClass uint8
+
+// Register classes. Modern cores split scalar and vector register files; the
+// paper applies ATR identically to both.
+const (
+	ClassGPR RegClass = iota
+	ClassFPR
+	NumClasses
+)
+
+// Class reports which register file r belongs to.
+func (r Reg) Class() RegClass {
+	if r <= Flags {
+		return ClassGPR
+	}
+	return ClassFPR
+}
+
+// ClassIndex returns r's index within its class's alias table.
+func (r Reg) ClassIndex() int {
+	if r <= Flags {
+		return int(r)
+	}
+	return int(r) - NumGPR
+}
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+func (r Reg) String() string {
+	switch {
+	case r < Flags:
+		return fmt.Sprintf("r%d", int(r))
+	case r == Flags:
+		return "flags"
+	case r < NumRegs:
+		return fmt.Sprintf("f%d", int(r)-NumGPR)
+	case r == RegInvalid:
+		return "-"
+	default:
+		return fmt.Sprintf("reg?%d", int(r))
+	}
+}
+
+// Op is a micro-operation class.
+type Op uint8
+
+// Operation classes. The release schemes only care about three predicates of
+// an op (IsCondBranch/IsIndirect for control, CanFault for exceptions), but
+// the execution model assigns each class distinct latencies and functional
+// units, and the functional semantics in package program give each class a
+// concrete value computation.
+const (
+	OpNop     Op = iota
+	OpALU        // integer add/sub/logic, 1 cycle
+	OpLEA        // address computation, 1 cycle
+	OpMove       // register move, 1 cycle (eligible for move elimination studies)
+	OpMul        // integer multiply, 3 cycles
+	OpDiv        // integer divide, 18 cycles, can fault (divide by zero)
+	OpCmp        // compare, writes Flags, 1 cycle
+	OpLoad       // memory load, cache-dependent latency, can fault
+	OpStore      // memory store, can fault
+	OpBranch     // conditional branch (possibly fused cmp+branch), can mispredict
+	OpJump       // unconditional direct jump
+	OpJumpInd    // indirect jump, can mispredict target
+	OpCall       // direct call, writes link register semantics via stack
+	OpCallInd    // indirect call
+	OpRet        // return, indirect via RAS
+	OpFPAdd      // FP add/sub, 3 cycles
+	OpFPMul      // FP multiply, 4 cycles
+	OpFPDiv      // FP divide, 14 cycles, can fault
+	OpFPMove     // FP register move
+	OpCvt        // int<->fp conversion, 4 cycles
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"nop", "alu", "lea", "move", "mul", "div", "cmp", "load", "store",
+	"branch", "jump", "jumpind", "call", "callind", "ret",
+	"fpadd", "fpmul", "fpdiv", "fpmove", "cvt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", int(o))
+}
+
+// IsCondBranch reports whether o is a conditional branch (direction can be
+// mispredicted). A mispredicted conditional branch still commits; only its
+// younger instructions flush.
+func (o Op) IsCondBranch() bool { return o == OpBranch }
+
+// IsIndirect reports whether o transfers control to a dynamically computed
+// target (target can be mispredicted).
+func (o Op) IsIndirect() bool {
+	return o == OpJumpInd || o == OpCallInd || o == OpRet
+}
+
+// IsBranchClassFlusher reports whether o can flush younger instructions while
+// itself committing (mispredicted direction or target). Such an instruction's
+// own destination register must be bulk-marked no-early-release, because its
+// destination does not flush together with its consumers.
+func (o Op) IsBranchClassFlusher() bool { return o.IsCondBranch() || o.IsIndirect() }
+
+// CanFault reports whether o can raise a synchronous exception (page fault,
+// divide by zero). A faulting instruction flushes *itself* and everything
+// younger, so its own destination dies with its consumers.
+func (o Op) CanFault() bool {
+	switch o {
+	case OpLoad, OpStore, OpDiv, OpFPDiv:
+		return true
+	}
+	return false
+}
+
+// IsFlusher reports whether o terminates an atomic commit region: any
+// instruction that may change control flow or raise an exception.
+func (o Op) IsFlusher() bool { return o.IsBranchClassFlusher() || o.CanFault() }
+
+// IsMem reports whether o accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsControl reports whether o is any control-flow instruction (including
+// never-mispredicting direct jumps/calls, which end fetch blocks but do not
+// terminate atomic regions by themselves... direct jumps cannot mispredict
+// and cannot fault, so they are region-transparent).
+func (o Op) IsControl() bool {
+	switch o {
+	case OpBranch, OpJump, OpJumpInd, OpCall, OpCallInd, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether o executes on the FP pipes.
+func (o Op) IsFP() bool {
+	switch o {
+	case OpFPAdd, OpFPMul, OpFPDiv, OpFPMove, OpCvt:
+		return true
+	}
+	return false
+}
+
+// MaxSrcs is the maximum number of register sources per micro-op.
+const MaxSrcs = 3
+
+// MaxDsts is the maximum number of register destinations per micro-op. x86's
+// CPUID writes four registers; we model up to two (value + flags), but the
+// renaming machinery is written against this constant.
+const MaxDsts = 2
+
+// Inst is a static micro-instruction. The zero value is a nop with no
+// operands (all operand slots RegInvalid must be set explicitly via NewInst
+// or the program builder; a zero Reg is R0, so code must not rely on zero
+// values for operands).
+type Inst struct {
+	Op   Op
+	Dsts [MaxDsts]Reg
+	Srcs [MaxSrcs]Reg
+
+	// Imm is an immediate operand. For memory ops it is the displacement;
+	// for ALU ops an immediate value; for branches the predicate selector.
+	Imm int64
+
+	// Target is the static branch/jump/call target PC (index into the
+	// program's instruction array). For memory ops it is reused as the
+	// base address of the region the op accesses.
+	Target uint64
+
+	// Span is the working-set span in bytes for memory ops: the effective
+	// address is Target + ((src0+Imm) mod Span), 8-byte aligned. Zero
+	// means a single 8-byte slot at Target.
+	Span uint64
+
+	// Targets is the set of possible destinations for indirect jumps and
+	// calls; the actual target is Targets[src0 % len(Targets)]. Returns
+	// (OpRet) instead jump to the raw source value.
+	Targets []uint64
+}
+
+// NewInst builds an instruction with the given operands; unused slots are
+// filled with RegInvalid.
+func NewInst(op Op, dsts []Reg, srcs []Reg) Inst {
+	in := Inst{Op: op}
+	for i := range in.Dsts {
+		in.Dsts[i] = RegInvalid
+	}
+	for i := range in.Srcs {
+		in.Srcs[i] = RegInvalid
+	}
+	if len(dsts) > MaxDsts {
+		panic(fmt.Sprintf("isa: too many destinations (%d > %d)", len(dsts), MaxDsts))
+	}
+	if len(srcs) > MaxSrcs {
+		panic(fmt.Sprintf("isa: too many sources (%d > %d)", len(srcs), MaxSrcs))
+	}
+	copy(in.Dsts[:], dsts)
+	copy(in.Srcs[:], srcs)
+	return in
+}
+
+// DstRegs returns the valid destination registers.
+func (in *Inst) DstRegs() []Reg {
+	n := 0
+	for _, d := range in.Dsts {
+		if d.Valid() {
+			n++
+		}
+	}
+	out := make([]Reg, 0, n)
+	for _, d := range in.Dsts {
+		if d.Valid() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SrcRegs returns the valid source registers.
+func (in *Inst) SrcRegs() []Reg {
+	out := make([]Reg, 0, MaxSrcs)
+	for _, s := range in.Srcs {
+		if s.Valid() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (in *Inst) String() string {
+	s := in.Op.String()
+	sep := " "
+	for _, d := range in.Dsts {
+		if d.Valid() {
+			s += sep + d.String()
+			sep = ","
+		}
+	}
+	if len(in.SrcRegs()) > 0 {
+		s += " <-"
+		sep = " "
+		for _, r := range in.Srcs {
+			if r.Valid() {
+				s += sep + r.String()
+				sep = ","
+			}
+		}
+	}
+	return s
+}
+
+// Latency returns the fixed execution latency of o in cycles. Loads take
+// this latency only on an L1 hit; the memory hierarchy adds miss penalties.
+func (o Op) Latency() int {
+	switch o {
+	case OpALU, OpLEA, OpMove, OpCmp, OpNop, OpJump, OpCall, OpRet,
+		OpBranch, OpJumpInd, OpCallInd, OpFPMove:
+		return 1
+	case OpMul:
+		return 3
+	case OpDiv:
+		return 18
+	case OpLoad:
+		return 1 // address generation; data latency comes from the hierarchy
+	case OpStore:
+		return 1
+	case OpFPAdd:
+		return 3
+	case OpFPMul, OpCvt:
+		return 4
+	case OpFPDiv:
+		return 14
+	}
+	return 1
+}
+
+// FUKind identifies a functional-unit type for issue-port modeling.
+type FUKind uint8
+
+// Functional unit kinds, matching the Table 1 port budget (5 ALU, 3 load,
+// 2 store). FP ops share the ALU ports as in Golden Cove's unified scheduler.
+const (
+	FUALU FUKind = iota
+	FULoad
+	FUStore
+	NumFUKinds
+)
+
+// FU returns the functional-unit kind that executes o.
+func (o Op) FU() FUKind {
+	switch o {
+	case OpLoad:
+		return FULoad
+	case OpStore:
+		return FUStore
+	default:
+		return FUALU
+	}
+}

@@ -1,0 +1,222 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegClass(t *testing.T) {
+	tests := []struct {
+		r     Reg
+		class RegClass
+		idx   int
+	}{
+		{R0, ClassGPR, 0},
+		{R15, ClassGPR, 15},
+		{Flags, ClassGPR, 16},
+		{F0, ClassFPR, 0},
+		{F15, ClassFPR, 15},
+	}
+	for _, tt := range tests {
+		if got := tt.r.Class(); got != tt.class {
+			t.Errorf("%v.Class() = %v, want %v", tt.r, got, tt.class)
+		}
+		if got := tt.r.ClassIndex(); got != tt.idx {
+			t.Errorf("%v.ClassIndex() = %d, want %d", tt.r, got, tt.idx)
+		}
+	}
+}
+
+func TestRegCounts(t *testing.T) {
+	if NumGPR != 17 {
+		t.Errorf("NumGPR = %d, want 17 (r0..r15 + flags)", NumGPR)
+	}
+	if NumFPR != 16 {
+		t.Errorf("NumFPR = %d, want 16", NumFPR)
+	}
+	if int(NumRegs) != NumGPR+NumFPR {
+		t.Errorf("NumRegs = %d, want %d", NumRegs, NumGPR+NumFPR)
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("%v should be valid", r)
+		}
+	}
+	if NumRegs.Valid() {
+		t.Error("NumRegs should not be valid")
+	}
+	if RegInvalid.Valid() {
+		t.Error("RegInvalid should not be valid")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	tests := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {R15, "r15"}, {Flags, "flags"}, {F0, "f0"}, {F15, "f15"}, {RegInvalid, "-"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	tests := []struct {
+		op                        Op
+		cond, indirect, fault, fl bool
+	}{
+		{OpNop, false, false, false, false},
+		{OpALU, false, false, false, false},
+		{OpMul, false, false, false, false},
+		{OpDiv, false, false, true, true},
+		{OpLoad, false, false, true, true},
+		{OpStore, false, false, true, true},
+		{OpBranch, true, false, false, true},
+		{OpJump, false, false, false, false},
+		{OpJumpInd, false, true, false, true},
+		{OpCall, false, false, false, false},
+		{OpCallInd, false, true, false, true},
+		{OpRet, false, true, false, true},
+		{OpFPDiv, false, false, true, true},
+		{OpFPAdd, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsCondBranch(); got != tt.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tt.op, got, tt.cond)
+		}
+		if got := tt.op.IsIndirect(); got != tt.indirect {
+			t.Errorf("%v.IsIndirect() = %v, want %v", tt.op, got, tt.indirect)
+		}
+		if got := tt.op.CanFault(); got != tt.fault {
+			t.Errorf("%v.CanFault() = %v, want %v", tt.op, got, tt.fault)
+		}
+		if got := tt.op.IsFlusher(); got != tt.fl {
+			t.Errorf("%v.IsFlusher() = %v, want %v", tt.op, got, tt.fl)
+		}
+	}
+}
+
+func TestBranchClassFlusherCommitsOnFlush(t *testing.T) {
+	// A branch-class flusher (mispredicted branch/indirect) commits while
+	// flushing younger instructions; a fault-class flusher flushes itself.
+	// The distinction drives whether the op's own destination is bulk-marked.
+	for op := Op(0); op < NumOps; op++ {
+		bc := op.IsBranchClassFlusher()
+		want := op.IsCondBranch() || op.IsIndirect()
+		if bc != want {
+			t.Errorf("%v.IsBranchClassFlusher() = %v, want %v", op, bc, want)
+		}
+		if bc && op.CanFault() {
+			t.Errorf("%v is both branch-class and fault-class", op)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if s := op.String(); s == "" || s[0] == 'o' && len(s) > 2 && s[:3] == "op?" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestNewInst(t *testing.T) {
+	in := NewInst(OpALU, []Reg{R1}, []Reg{R2, R3})
+	if in.Op != OpALU {
+		t.Fatalf("op = %v", in.Op)
+	}
+	if got := in.DstRegs(); len(got) != 1 || got[0] != R1 {
+		t.Errorf("DstRegs = %v", got)
+	}
+	if got := in.SrcRegs(); len(got) != 2 || got[0] != R2 || got[1] != R3 {
+		t.Errorf("SrcRegs = %v", got)
+	}
+	if in.Dsts[1] != RegInvalid || in.Srcs[2] != RegInvalid {
+		t.Error("unused slots not RegInvalid")
+	}
+}
+
+func TestNewInstNoOperands(t *testing.T) {
+	in := NewInst(OpNop, nil, nil)
+	if len(in.DstRegs()) != 0 || len(in.SrcRegs()) != 0 {
+		t.Errorf("nop has operands: %v %v", in.DstRegs(), in.SrcRegs())
+	}
+}
+
+func TestNewInstPanicsOnTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many dsts")
+		}
+	}()
+	NewInst(OpALU, []Reg{R1, R2, R3}, nil)
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%v.Latency() = %d, want > 0", op, op.Latency())
+		}
+	}
+	if OpDiv.Latency() <= OpMul.Latency() {
+		t.Error("div should be slower than mul")
+	}
+	if OpFPDiv.Latency() <= OpFPAdd.Latency() {
+		t.Error("fpdiv should be slower than fpadd")
+	}
+}
+
+func TestFUAssignment(t *testing.T) {
+	if OpLoad.FU() != FULoad {
+		t.Error("load must use load unit")
+	}
+	if OpStore.FU() != FUStore {
+		t.Error("store must use store unit")
+	}
+	if OpALU.FU() != FUALU || OpFPMul.FU() != FUALU {
+		t.Error("compute ops must use ALU ports")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := NewInst(OpALU, []Reg{R1}, []Reg{R2, R3})
+	if got := in.String(); got != "alu r1 <- r2,r3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Class and ClassIndex are a bijection over valid registers.
+func TestRegClassIndexBijection(t *testing.T) {
+	f := func(b uint8) bool {
+		r := Reg(b % uint8(NumRegs))
+		switch r.Class() {
+		case ClassGPR:
+			return Reg(r.ClassIndex()) == r
+		case ClassFPR:
+			return Reg(r.ClassIndex()+NumGPR) == r
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flusher classification is the union of branch-class and
+// fault-class, and the two classes are disjoint.
+func TestFlusherPartition(t *testing.T) {
+	f := func(b uint8) bool {
+		op := Op(b % uint8(NumOps))
+		return op.IsFlusher() == (op.IsBranchClassFlusher() || op.CanFault())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

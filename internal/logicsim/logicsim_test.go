@@ -1,0 +1,225 @@
+package logicsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNetlistBasics(t *testing.T) {
+	n := New()
+	a, b := n.Input(), n.Input()
+	and := n.And(a, b)
+	or := n.Or(a, b)
+	not := n.Not(a)
+	eval := n.Eval([]bool{true, false})
+	if eval(and) != false || eval(or) != true || eval(not) != false {
+		t.Error("gate evaluation wrong")
+	}
+	if n.GateCount() != 3 {
+		t.Errorf("GateCount = %d, want 3", n.GateCount())
+	}
+	if n.Levels(and) != 1 {
+		t.Errorf("Levels(and) = %d", n.Levels(and))
+	}
+}
+
+func TestMux(t *testing.T) {
+	n := New()
+	s, a, b := n.Input(), n.Input(), n.Input()
+	m := n.Mux(s, a, b)
+	for _, tc := range []struct{ s, a, b, want bool }{
+		{true, true, false, true},
+		{true, false, true, false},
+		{false, true, false, false},
+		{false, false, true, true},
+	} {
+		if got := n.Eval([]bool{tc.s, tc.a, tc.b})(m); got != tc.want {
+			t.Errorf("mux(%v,%v,%v) = %v", tc.s, tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestEqualsConst(t *testing.T) {
+	n := New()
+	bits := []Wire{n.Input(), n.Input(), n.Input(), n.Input()}
+	eq5 := n.EqualsConst(bits, 5)
+	for v := uint64(0); v < 16; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+		if got := n.Eval(in)(eq5); got != (v == 5) {
+			t.Errorf("EqualsConst(5) on %d = %v", v, got)
+		}
+	}
+}
+
+func TestReduceTrees(t *testing.T) {
+	n := New()
+	var ws []Wire
+	for i := 0; i < 8; i++ {
+		ws = append(ws, n.Input())
+	}
+	or := n.ReduceOr(ws)
+	and := n.ReduceAnd(ws)
+	if n.Levels(or) != 3 || n.Levels(and) != 3 {
+		t.Errorf("balanced 8-input trees should be 3 levels, got %d/%d", n.Levels(or), n.Levels(and))
+	}
+	all := make([]bool, 8)
+	if n.Eval(all)(or) != false {
+		t.Error("OR of zeros")
+	}
+	all[3] = true
+	if n.Eval(all)(or) != true {
+		t.Error("OR with one set")
+	}
+}
+
+// markRef is the behavioural model of the serial bulk-marking semantics: the
+// same rules the core engine implements, restricted to one rename group.
+func markRef(flusher, dstValid []bool, dstArch []int, archRegs int) (markSRT []bool, markWay []bool) {
+	markSRT = make([]bool, archRegs)
+	markWay = make([]bool, len(flusher))
+	owner := make([]int, archRegs) // -1-offset: 0 = SRT, j+1 = way j
+	for i := range flusher {
+		if flusher[i] {
+			for a := 0; a < archRegs; a++ {
+				if owner[a] == 0 {
+					markSRT[a] = true
+				} else {
+					markWay[owner[a]-1] = true
+				}
+			}
+			if dstValid[i] {
+				markWay[i] = true // branch-class self-mark
+			}
+		}
+		if dstValid[i] {
+			owner[dstArch[i]] = i + 1
+		}
+	}
+	return markSRT, markWay
+}
+
+// TestBulkMarkMatchesBehaviouralModel cross-verifies the gate-level circuit
+// against the behavioural marking semantics on random rename groups.
+func TestBulkMarkMatchesBehaviouralModel(t *testing.T) {
+	const ways, arch = 4, 8
+	b := BuildBulkMark(ways, arch)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		flusher := make([]bool, ways)
+		dstValid := make([]bool, ways)
+		dstArch := make([]int, ways)
+		var inputs []bool
+		for i := 0; i < ways; i++ {
+			flusher[i] = r.Intn(3) == 0
+			dstValid[i] = r.Intn(4) != 0
+			dstArch[i] = r.Intn(arch)
+			inputs = append(inputs, flusher[i], dstValid[i])
+			for k := 0; k < 3; k++ {
+				inputs = append(inputs, dstArch[i]>>uint(k)&1 == 1)
+			}
+		}
+		eval := b.Net.Eval(inputs)
+		wantSRT, wantWay := markRef(flusher, dstValid, dstArch, arch)
+		for a := 0; a < arch; a++ {
+			if eval(b.MarkSRT[a]) != wantSRT[a] {
+				t.Fatalf("trial %d: MarkSRT[%d] = %v, want %v (f=%v v=%v d=%v)",
+					trial, a, eval(b.MarkSRT[a]), wantSRT[a], flusher, dstValid, dstArch)
+			}
+		}
+		for j := 0; j < ways; j++ {
+			if eval(b.MarkWay[j]) != wantWay[j] {
+				t.Fatalf("trial %d: MarkWay[%d] = %v, want %v (f=%v v=%v d=%v)",
+					trial, j, eval(b.MarkWay[j]), wantWay[j], flusher, dstValid, dstArch)
+			}
+		}
+	}
+}
+
+// TestSynthesis8Wide checks the §4.4 claims: the paper reports 42 logic
+// levels and 2,960 gates for the 8-wide x86 design, with a 2.6 GHz
+// single-cycle clock and >4 GHz when pipelined two extra stages. The naive
+// (synthesis-like) netlist should land in that regime; the balanced variant
+// must be strictly shallower.
+func TestSynthesis8Wide(t *testing.T) {
+	naive := BuildBulkMarkNaive(8, 16).Synthesize(1)
+	t.Logf("8-wide naive:    %v", naive)
+	if naive.Levels < 15 || naive.Levels > 70 {
+		t.Errorf("naive levels = %d, want within 15..70 of the paper's 42", naive.Levels)
+	}
+	if naive.Gates < 1500 || naive.Gates > 6000 {
+		t.Errorf("naive gates = %d, want within 1500..6000 of the paper's 2960", naive.Gates)
+	}
+	if naive.ClockGHz < 1.0 || naive.ClockGHz > 8.0 {
+		t.Errorf("naive single-cycle clock %.2f GHz out of band (paper: 2.6)", naive.ClockGHz)
+	}
+	opt := BuildBulkMark(8, 16).Synthesize(1)
+	t.Logf("8-wide balanced: %v", opt)
+	if opt.Levels >= naive.Levels {
+		t.Errorf("balanced (%d levels) should beat naive (%d)", opt.Levels, naive.Levels)
+	}
+	p := BuildBulkMarkNaive(8, 16).Synthesize(3)
+	if p.PipeGHz <= naive.ClockGHz {
+		t.Error("pipelining must raise the achievable clock")
+	}
+	if p.PipeGHz < 4.0 {
+		t.Errorf("3-stage clock %.2f GHz; paper claims pipelining reaches beyond 4 GHz", p.PipeGHz)
+	}
+}
+
+// TestNaiveMatchesBehaviouralModel verifies the naive construction computes
+// the same function as the optimized one.
+func TestNaiveMatchesBehaviouralModel(t *testing.T) {
+	const ways, arch = 4, 8
+	b := BuildBulkMarkNaive(ways, arch)
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		flusher := make([]bool, ways)
+		dstValid := make([]bool, ways)
+		dstArch := make([]int, ways)
+		var inputs []bool
+		for i := 0; i < ways; i++ {
+			flusher[i] = r.Intn(3) == 0
+			dstValid[i] = r.Intn(4) != 0
+			dstArch[i] = r.Intn(arch)
+			inputs = append(inputs, flusher[i], dstValid[i])
+			for k := 0; k < 3; k++ {
+				inputs = append(inputs, dstArch[i]>>uint(k)&1 == 1)
+			}
+		}
+		eval := b.Net.Eval(inputs)
+		wantSRT, wantWay := markRef(flusher, dstValid, dstArch, arch)
+		for a := 0; a < arch; a++ {
+			if eval(b.MarkSRT[a]) != wantSRT[a] {
+				t.Fatalf("trial %d: MarkSRT[%d] wrong", trial, a)
+			}
+		}
+		for j := 0; j < ways; j++ {
+			if eval(b.MarkWay[j]) != wantWay[j] {
+				t.Fatalf("trial %d: MarkWay[%d] wrong", trial, j)
+			}
+		}
+	}
+}
+
+func TestDepthGrowsWithWays(t *testing.T) {
+	l4 := BuildBulkMark(4, 16).Synthesize(1)
+	l8 := BuildBulkMark(8, 16).Synthesize(1)
+	if l8.Levels <= l4.Levels {
+		t.Errorf("serial chain depth must grow with ways: %d vs %d", l4.Levels, l8.Levels)
+	}
+	if l8.Gates <= l4.Gates {
+		t.Error("gate count must grow with ways")
+	}
+}
+
+func TestEvalPanicsOnMissingInputs(t *testing.T) {
+	n := New()
+	n.Input()
+	n.Input()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Eval([]bool{true})
+}

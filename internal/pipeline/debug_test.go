@@ -1,0 +1,36 @@
+package pipeline
+
+import (
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// TestOracleDivergenceReporting is the debugging entry point used throughout
+// development: it runs a short window under the most aggressive release
+// configuration and pinpoints the first committed record (if any) that
+// diverges from the in-order oracle, dumping release accounting for
+// diagnosis. It doubles as a fast regression smoke test.
+func TestOracleDivergenceReporting(t *testing.T) {
+	prog := workload.Micro(42).Generate()
+	cfg := testConfig().WithScheme(config.SchemeCombined).WithPhysRegs(64)
+	cfg.MoveElimination = true
+	emu := program.NewEmulator(prog)
+	cpu := New(cfg, prog)
+	var n int
+	cpu.OnCommit = func(got program.Record) {
+		want, _ := emu.Step()
+		if got != want {
+			t.Errorf("first divergence at commit %d:\n got %+v\nwant %+v\ninst: %v\nstats:\n%s",
+				n, got, want, prog.At(got.PC), cpu.Engine.Stats.String())
+			t.FailNow()
+		}
+		n++
+	}
+	cpu.Run(5000)
+	if n == 0 {
+		t.Fatal("nothing committed")
+	}
+}

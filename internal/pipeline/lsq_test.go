@@ -1,0 +1,319 @@
+package pipeline
+
+import (
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/isa"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// TestStoreDataSplitAllowsLoadMLP verifies the STA/STD split: a store whose
+// data depends on a long-latency load must not serialize younger,
+// non-conflicting loads. With split stores, the two misses overlap and the
+// run takes roughly one memory round trip; without the split it would take
+// two.
+func TestStoreDataSplitAllowsLoadMLP(t *testing.T) {
+	b := program.NewBuilder(1, 2)
+	// load A (miss) -> store [X] = A -> load B (different address, miss)
+	b.ALU(isa.R0, isa.RegInvalid, isa.RegInvalid, 0)
+	b.Load(isa.R1, isa.R0, 0x100000, 64<<20, 0) // cold miss
+	b.Store(isa.R0, isa.R1, 0x200000, 4096, 0)  // data depends on load A
+	b.Load(isa.R2, isa.R0, 0x300000, 64<<20, 0) // independent cold miss
+	b.ALU(isa.R3, isa.R1, isa.R2, 0)
+	prog := b.MustBuild()
+
+	cfg := config.GoldenCove()
+	res := runAndCompare(t, cfg, prog, 100)
+	// Budget: one cold I-cache miss (~260 cycles) plus ONE overlapped data
+	// round trip (~260). Serialized loads would need a third trip (~780).
+	if res.Cycles > 650 {
+		t.Errorf("run took %d cycles; store data dependence is serializing independent loads", res.Cycles)
+	}
+}
+
+// TestForwardingWaitsForStoreData: a load matching an in-flight store whose
+// data is not yet available must wait and then receive the correct value
+// (verified via the oracle).
+func TestForwardingWaitsForStoreData(t *testing.T) {
+	b := program.NewBuilder(3, 4)
+	b.ALU(isa.R0, isa.RegInvalid, isa.RegInvalid, 0)
+	b.Load(isa.R1, isa.R0, 0x100000, 64<<20, 0) // slow producer of store data
+	b.Store(isa.R0, isa.R1, 0x5000, 4096, 0)    // address ready immediately
+	b.Load(isa.R2, isa.R0, 0x5000, 4096, 0)     // must forward the slow value
+	b.ALU(isa.R3, isa.R2, isa.RegInvalid, 1)
+	prog := b.MustBuild()
+	runAndCompare(t, config.GoldenCove(), prog, 100)
+}
+
+// TestForwardingYoungestOlderStoreWins: two older stores to the same address
+// — the load must see the younger one.
+func TestForwardingYoungestOlderStoreWins(t *testing.T) {
+	b := program.NewBuilder(5, 6)
+	b.ALU(isa.R0, isa.RegInvalid, isa.RegInvalid, 0)
+	b.ALU(isa.R1, isa.RegInvalid, isa.RegInvalid, 111)
+	b.ALU(isa.R2, isa.RegInvalid, isa.RegInvalid, 222)
+	b.Store(isa.R0, isa.R1, 0x6000, 4096, 0)
+	b.Store(isa.R0, isa.R2, 0x6000, 4096, 0)
+	b.Load(isa.R3, isa.R0, 0x6000, 4096, 0) // must read 222
+	prog := b.MustBuild()
+	emu := program.NewEmulator(prog)
+	emu.Run(100)
+	if emu.Regs[isa.R3] != 222 {
+		t.Fatalf("oracle sanity: r3 = %d", emu.Regs[isa.R3])
+	}
+	runAndCompare(t, config.GoldenCove(), prog, 100)
+}
+
+// TestWrongPathStoresNeverReachMemory: a store fetched down a mispredicted
+// path must not modify committed memory (checked implicitly by the oracle on
+// a mispredict-heavy workload with a high store fraction).
+func TestWrongPathStoresNeverReachMemory(t *testing.T) {
+	p := workload.Micro(55)
+	p.StoreFrac = 0.25
+	p.BranchBias = 0.55 // heavy mispredicting
+	prog := p.Generate()
+	res := runAndCompare(t, testConfig(), prog, 15000)
+	if res.Mispredicts < 100 {
+		t.Fatalf("setup: only %d mispredicts", res.Mispredicts)
+	}
+}
+
+func TestROBRing(t *testing.T) {
+	r := newROB(4)
+	if r.len() != 0 || r.full() || r.cap() != 4 {
+		t.Fatal("fresh ROB state wrong")
+	}
+	us := []*uop{{seq: 0}, {seq: 1}, {seq: 2}, {seq: 3}}
+	for _, u := range us {
+		r.push(u)
+	}
+	if !r.full() {
+		t.Error("should be full")
+	}
+	if r.at(0).seq != 0 || r.at(3).seq != 3 {
+		t.Error("ordering wrong")
+	}
+	if got := r.popHead(); got.seq != 0 {
+		t.Errorf("popHead = %d", got.seq)
+	}
+	if got := r.popTail(); got.seq != 3 {
+		t.Errorf("popTail = %d", got.seq)
+	}
+	r.push(&uop{seq: 4}) // wraps
+	if r.len() != 3 || r.at(2).seq != 4 || r.at(0).seq != 1 {
+		t.Error("wraparound wrong")
+	}
+}
+
+func TestROBPanics(t *testing.T) {
+	r := newROB(1)
+	r.push(&uop{})
+	func() {
+		defer func() { recover() }()
+		r.push(&uop{})
+		t.Error("push to full ROB should panic")
+	}()
+	r.popHead()
+	func() {
+		defer func() { recover() }()
+		r.popHead()
+		t.Error("pop from empty ROB should panic")
+	}()
+}
+
+// TestEquivalenceManySeeds is the broad-random safety net: many generated
+// programs, combined scheme, moderate budget each.
+func TestEquivalenceManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for seed := uint64(100); seed < 112; seed++ {
+		p := workload.Micro(seed)
+		prog := p.Generate()
+		cfg := testConfig().WithScheme(config.SchemeCombined).WithPhysRegs(72)
+		t.Run(itoa(int(seed)), func(t *testing.T) {
+			runAndCompare(t, cfg, prog, 8000)
+		})
+	}
+}
+
+// TestCounterWidthEquivalence: the consumer-counter width changes only
+// performance, never architecture.
+func TestCounterWidthEquivalence(t *testing.T) {
+	prog := workload.Micro(61).Generate()
+	for _, bits := range []int{0, 2, 3, 4} {
+		cfg := testConfig().WithScheme(config.SchemeCombined)
+		cfg.ConsumerCounterBits = bits
+		t.Run(itoa(bits), func(t *testing.T) {
+			runAndCompare(t, cfg, prog, 12000)
+		})
+	}
+}
+
+// TestMemPrecommitAblation: the conservative precommit variant is
+// architecturally identical and strictly less aggressive for ER.
+func TestMemPrecommitAblation(t *testing.T) {
+	prog := workload.Micro(67).Generate()
+	cfg := testConfig().WithScheme(config.SchemeNonSpecER).WithPhysRegs(64)
+	cfg.MemPrecommitAtExec = false
+	runAndCompare(t, cfg, prog, 12000)
+
+	cons := New(cfg, prog)
+	cons.Run(20000)
+	cfgA := cfg
+	cfgA.MemPrecommitAtExec = true
+	aggr := New(cfgA, prog)
+	aggr.Run(20000)
+	if cons.Engine.Stats.Get("release.er") > aggr.Engine.Stats.Get("release.er") {
+		t.Errorf("conservative precommit released more (%d) than aggressive (%d)",
+			cons.Engine.Stats.Get("release.er"), aggr.Engine.Stats.Get("release.er"))
+	}
+}
+
+// TestSQOrderMaintained: the store queue must always be in fetch order with
+// no squashed entries after any run.
+func TestSQOrderMaintained(t *testing.T) {
+	p := workload.Micro(71)
+	p.StoreFrac = 0.3
+	prog := p.Generate()
+	cpu := New(testConfig(), prog)
+	cpu.Run(10000)
+	last := uint64(0)
+	for _, s := range cpu.sq {
+		if s.squashed {
+			t.Fatal("squashed store left in SQ")
+		}
+		if s.seq < last {
+			t.Fatal("SQ out of order")
+		}
+		last = s.seq
+	}
+}
+
+// TestEquivalenceMoveElimination: move elimination changes only which
+// physical registers hold values, never the values; the committed stream
+// must match the oracle under every scheme.
+func TestEquivalenceMoveElimination(t *testing.T) {
+	p := workload.Micro(81)
+	p.MoveFrac = 0.2 // plenty of moves
+	prog := p.Generate()
+	for _, scheme := range config.Schemes() {
+		cfg := testConfig().WithScheme(scheme).WithPhysRegs(64)
+		cfg.MoveElimination = true
+		t.Run(scheme.String(), func(t *testing.T) {
+			cpu := New(cfg, prog)
+			emu := program.NewEmulator(prog)
+			mismatches := 0
+			cpu.OnCommit = func(got program.Record) {
+				want, _ := emu.Step()
+				if got != want {
+					mismatches++
+				}
+			}
+			cpu.Run(15000)
+			if mismatches > 0 {
+				t.Fatalf("%d mismatches with move elimination", mismatches)
+			}
+			if cpu.Engine.Stats.Get("rename.moveelim") == 0 {
+				t.Error("no moves eliminated")
+			}
+			if err := cpu.Engine.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMoveEliminationReducesPressure: eliminating moves lowers allocation
+// demand and should never slow the machine down at small register files.
+func TestMoveEliminationReducesPressure(t *testing.T) {
+	p := workload.Micro(83)
+	p.MoveFrac = 0.25
+	prog := p.Generate()
+	cfg := testConfig().WithScheme(config.SchemeBaseline).WithPhysRegs(56)
+	off := New(cfg, prog).Run(15000)
+	cfg.MoveElimination = true
+	on := New(cfg, prog).Run(15000)
+	if on.Cycles > off.Cycles+off.Cycles/50 {
+		t.Errorf("move elimination slowed the run: %d vs %d cycles", on.Cycles, off.Cycles)
+	}
+}
+
+// TestEquivalenceCheckpointBudget: with a small checkpoint budget, recovery
+// at non-checkpointed branches uses nearest-checkpoint + forward replay
+// (§4.2.1); architectural state must be unaffected, under every scheme.
+func TestEquivalenceCheckpointBudget(t *testing.T) {
+	prog := workload.Micro(91).Generate()
+	for _, budget := range []int{1, 4} {
+		for _, scheme := range []config.ReleaseScheme{config.SchemeBaseline, config.SchemeCombined} {
+			cfg := testConfig().WithScheme(scheme).WithPhysRegs(72)
+			cfg.CheckpointBudget = budget
+			t.Run(scheme.String()+"/"+itoa(budget), func(t *testing.T) {
+				res := runAndCompare(t, cfg, prog, 12000)
+				if res.Mispredicts == 0 {
+					t.Error("need mispredicts to exercise replay recovery")
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointBudgetRespected: the outstanding checkpoint count never
+// exceeds the budget.
+func TestCheckpointBudgetRespected(t *testing.T) {
+	prog := workload.Micro(93).Generate()
+	cfg := testConfig().WithScheme(config.SchemeATR)
+	cfg.CheckpointBudget = 3
+	cpu := New(cfg, prog)
+	for i := 0; i < 20000; i++ {
+		cpu.step()
+		if cpu.cpCount > 3 {
+			t.Fatalf("cycle %d: %d outstanding checkpoints, budget 3", cpu.cycle, cpu.cpCount)
+		}
+		if cpu.cpCount < 0 {
+			t.Fatalf("cycle %d: negative checkpoint count", cpu.cycle)
+		}
+	}
+}
+
+// TestInvariantsUnderStress steps a maximally-featured configuration
+// (combined scheme + move elimination + checkpoint budget + interrupts +
+// faults) and checks the engine's free-list invariants continuously, not
+// just at the end of the run.
+func TestInvariantsUnderStress(t *testing.T) {
+	p := workload.Micro(97)
+	p.MoveFrac = 0.15
+	prog := p.Generate()
+	cfg := testConfig().WithScheme(config.SchemeCombined).WithPhysRegs(64)
+	cfg.MoveElimination = true
+	cfg.CheckpointBudget = 2
+	cfg.InterruptMode = config.InterruptFlush
+	cfg.InterruptInterval = 700
+	cfg.InterruptCost = 30
+	cfg.FaultRate = 5
+	cpu := New(cfg, prog)
+	emu := program.NewEmulator(prog)
+	mismatches := 0
+	cpu.OnCommit = func(got program.Record) {
+		want, _ := emu.Step()
+		if got != want {
+			mismatches++
+		}
+	}
+	for i := 0; i < 60000; i++ {
+		cpu.step()
+		if i%64 == 0 {
+			if err := cpu.Engine.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", cpu.cycle, err)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d oracle mismatches under stress", mismatches)
+	}
+	if cpu.committed < 1000 {
+		t.Fatalf("no forward progress: %d committed", cpu.committed)
+	}
+}

@@ -1,0 +1,859 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"atr/internal/bpred"
+	"atr/internal/cache"
+	"atr/internal/config"
+	"atr/internal/core"
+	"atr/internal/isa"
+	"atr/internal/power"
+	"atr/internal/program"
+	"atr/internal/stats"
+)
+
+// frontendDepth is the fetch-to-rename pipeline depth in cycles (fetch,
+// decode, and queue stages); it sets the misprediction redirect penalty
+// together with the L1I latency.
+const frontendDepth = 4
+
+// exceptionCost is the pipeline penalty charged when a synchronous
+// exception (injected fault) is taken.
+const exceptionCost = 30
+
+// instBytes is the footprint of one micro-instruction in the I-cache model.
+const instBytes = 4
+
+// CPU is one simulated core executing one program.
+type CPU struct {
+	cfg    config.Config
+	prog   *program.Program
+	Engine *core.Engine
+	Pred   *bpred.Predictor
+	Mem    *cache.Hierarchy
+	Data   *program.Memory
+
+	// Register file values and readiness, indexed [class][ptag].
+	vals  [isa.NumClasses][]uint64
+	ready [isa.NumClasses][]bool
+
+	// Frontend state.
+	fetchPC   uint64
+	fetchHold uint64 // no fetch before this cycle
+	decodeQ   []*uop
+	seq       uint64
+
+	// Backend state.
+	rob      *rob
+	inflight []*uop // issued, completion pending
+	sq       []*uop // in-flight stores, fetch order
+	rsCount  int
+	lqCount  int
+	sqCount  int
+	prePtr   int // entries from ROB head that have precommitted
+
+	// Architectural state.
+	archPC    uint64
+	committed uint64
+	cycle     uint64
+
+	// Exceptions and interrupts.
+	faulted          map[uint64]bool // PCs whose one-shot fault already fired
+	pendingInterrupt bool
+	interruptFlushed bool // flush-mode: suffix discarded, prefix draining
+
+	// OnCommit, when set, receives every architecturally committed
+	// instruction (oracle comparison hook).
+	OnCommit func(program.Record)
+
+	// Counters.
+	Stats       *stats.Counters
+	mispredicts uint64
+	flushes     uint64
+	exceptions  uint64
+	interrupts  uint64
+	renameStall uint64
+
+	// Register-file occupancy accounting (for utilization stats).
+	occupancySum uint64
+
+	// Activity counters for the power model.
+	srcReads  uint64
+	aluOps    uint64
+	memOps    uint64
+	branchOps uint64
+	squashed  uint64
+
+	// cpCount tracks outstanding SRT checkpoints (budgeted mode).
+	cpCount int
+}
+
+// shouldCheckpoint decides whether this mispredictable instruction gets an
+// SRT checkpoint. With no budget configured, every one does; under a budget,
+// only low-confidence conditional branches and indirect transfers are worth
+// one (§4.2.1), and recovery at a non-checkpointed instruction reconstructs
+// the SRT from the nearest older checkpoint plus forward replay.
+func (c *CPU) shouldCheckpoint(u *uop) bool {
+	if c.cfg.WalkRecovery {
+		return false
+	}
+	if c.cfg.CheckpointBudget <= 0 {
+		return true
+	}
+	if c.cpCount >= c.cfg.CheckpointBudget {
+		return false
+	}
+	if u.inst.Op.IsIndirect() {
+		return true
+	}
+	return !u.pred.Tage.Confident
+}
+
+// New builds a CPU for cfg running prog. It panics on an invalid
+// configuration (callers validate via cfg.Validate()).
+func New(cfg config.Config, prog *program.Program) *CPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &CPU{
+		cfg:     cfg,
+		prog:    prog,
+		Engine:  core.NewEngine(cfg),
+		Pred:    bpred.New(cfg),
+		Mem:     cache.NewHierarchy(cfg),
+		Data:    program.NewMemory(prog.MemSeed),
+		rob:     newROB(cfg.ROBSize),
+		faulted: make(map[uint64]bool),
+		Stats:   stats.NewCounters(),
+	}
+	n := c.Engine.PhysRegsPerClass()
+	for cl := 0; cl < int(isa.NumClasses); cl++ {
+		c.vals[cl] = make([]uint64, n)
+		c.ready[cl] = make([]bool, n)
+	}
+	init := prog.InitialRegs()
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		a := c.Engine.Lookup(r)
+		c.vals[a.Class][a.Tag] = init[r]
+		c.ready[a.Class][a.Tag] = true
+	}
+	return c
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles           uint64
+	Committed        uint64
+	IPC              float64
+	Mispredicts      uint64
+	Flushes          uint64
+	Exceptions       uint64
+	Interrupts       uint64
+	RenameStalls     uint64
+	BranchAccuracy   float64
+	IndirectAccuracy float64
+	L1DHitRate       float64
+	AvgRegsLive      float64
+	Halted           bool
+}
+
+// Run simulates until maxInstr instructions commit or the program halts,
+// and returns the run summary. It panics if the machine deadlocks (no
+// commit progress for an implausibly long window), which would indicate a
+// model bug.
+func (c *CPU) Run(maxInstr uint64) Result {
+	lastCommit := c.committed
+	stuck := uint64(0)
+	halted := false
+	for c.committed < maxInstr {
+		if c.robEmptyAndHalted() {
+			halted = true
+			break
+		}
+		c.step()
+		if c.committed == lastCommit {
+			stuck++
+			if stuck > 1_000_000 {
+				panic(fmt.Sprintf("pipeline: no commit progress for 1M cycles at cycle %d (pc=%d hold=%d rob=%d dq=%d inflight=%d pending=%v open=%d free=%d committed=%d)",
+					c.cycle, c.fetchPC, c.fetchHold, c.rob.len(), len(c.decodeQ),
+					len(c.inflight), c.pendingInterrupt, c.Engine.OpenRegions(),
+					c.Engine.FreeCount(isa.ClassGPR), c.committed))
+			}
+		} else {
+			stuck = 0
+			lastCommit = c.committed
+		}
+	}
+	c.Engine.Finalize()
+	res := Result{
+		Cycles:           c.cycle,
+		Committed:        c.committed,
+		Mispredicts:      c.mispredicts,
+		Flushes:          c.flushes,
+		Exceptions:       c.exceptions,
+		Interrupts:       c.interrupts,
+		RenameStalls:     c.renameStall,
+		BranchAccuracy:   c.Pred.CondAccuracy(),
+		IndirectAccuracy: c.Pred.IndirectAccuracy(),
+		L1DHitRate:       c.Mem.L1D.HitRate(),
+		Halted:           halted,
+	}
+	if c.cycle > 0 {
+		res.IPC = float64(c.committed) / float64(c.cycle)
+		res.AvgRegsLive = float64(c.occupancySum) / float64(c.cycle)
+	}
+	return res
+}
+
+func (c *CPU) robEmptyAndHalted() bool {
+	return c.rob.len() == 0 && len(c.decodeQ) == 0 && !c.prog.ValidPC(c.fetchPC)
+}
+
+// step advances the machine by one cycle.
+func (c *CPU) step() {
+	c.maybeInterrupt()
+	c.completeStage()
+	c.captureStoreData()
+	c.precommitStage()
+	c.commitStage()
+	c.issueStage()
+	c.renameStage()
+	c.fetchStage()
+	c.Engine.Tick(c.cycle)
+	c.occupancySum += uint64(c.Engine.PhysRegsPerClass() - c.Engine.FreeCount(isa.ClassGPR))
+	c.cycle++
+}
+
+// ---------------------------------------------------------------- frontend
+
+func (c *CPU) fetchStage() {
+	if c.pendingInterrupt && c.cfg.InterruptMode == config.InterruptDrain {
+		return // draining: no new fetch
+	}
+	if c.interruptFlushed {
+		return // flush-mode prefix drain in progress
+	}
+	if c.cycle < c.fetchHold {
+		return
+	}
+	taken := 0
+	for fetched := 0; fetched < c.cfg.FetchWidth; fetched++ {
+		if len(c.decodeQ) >= c.cfg.DecodeQueue {
+			return
+		}
+		pc := c.fetchPC
+		if !c.prog.ValidPC(pc) {
+			return // wrong-path garbage or program end: wait for redirect
+		}
+		done := c.Mem.AccessInst(pc*instBytes, c.cycle)
+		if done > c.cycle+uint64(c.cfg.L1I.Latency) {
+			// I-cache miss: stall fetch until the fill arrives (the
+			// line is now resident, so the retry hits).
+			c.fetchHold = done
+			return
+		}
+		in := c.prog.At(pc)
+		u := &uop{
+			seq:        c.seq,
+			pc:         pc,
+			inst:       in,
+			fetchedAt:  c.cycle,
+			renameable: c.cycle + frontendDepth,
+			predNext:   pc + 1,
+		}
+		c.seq++
+		if in.Op.IsControl() {
+			u.pred = c.Pred.Predict(in, pc)
+			u.hasPred = true
+			if u.pred.Taken {
+				u.predNext = u.pred.Target
+				taken++
+			}
+		}
+		c.decodeQ = append(c.decodeQ, u)
+		c.fetchPC = u.predNext
+		if taken >= c.cfg.FetchTargets {
+			return // fetch-target budget exhausted this cycle
+		}
+	}
+}
+
+func (c *CPU) renameStage() {
+	for n := 0; n < c.cfg.RenameWidth && len(c.decodeQ) > 0; n++ {
+		u := c.decodeQ[0]
+		if u.renameable > c.cycle || c.rob.full() || c.rsCount >= c.cfg.RSSize {
+			return
+		}
+		if u.isLoad() && c.lqCount >= c.cfg.LoadQueue {
+			return
+		}
+		if u.isStore() && c.sqCount >= c.cfg.StoreQueue {
+			return
+		}
+		if !c.Engine.CanRename() {
+			c.renameStall++
+			return
+		}
+		u.ren = c.Engine.Rename(u.inst, c.cycle)
+		u.renamed = true
+		u.renCycle = c.cycle
+		for i := 0; i < isa.MaxDsts; i++ {
+			d := u.ren.Dsts[i]
+			if d.New.Valid() && !d.Eliminated {
+				c.ready[d.New.Class][d.New.Tag] = false
+			}
+		}
+		if u.mispredictable() && c.shouldCheckpoint(u) {
+			u.cp = c.Engine.TakeCheckpoint()
+			c.cpCount++
+		}
+		c.rob.push(u)
+		c.rsCount++
+		switch {
+		case u.isLoad():
+			c.lqCount++
+		case u.isStore():
+			c.sqCount++
+			c.sq = append(c.sq, u)
+		}
+		c.decodeQ = c.decodeQ[1:]
+	}
+}
+
+// ----------------------------------------------------------------- backend
+
+func (c *CPU) issueStage() {
+	aluLeft := c.cfg.NumALU
+	loadLeft := c.cfg.NumLoadPorts
+	storeLeft := c.cfg.NumStorePorts
+	left := c.cfg.IssueWidth
+	for i := 0; i < c.rob.len() && left > 0; i++ {
+		u := c.rob.at(i)
+		if !u.renamed || u.issued {
+			continue
+		}
+		switch u.inst.Op.FU() {
+		case isa.FUALU:
+			if aluLeft == 0 {
+				continue
+			}
+		case isa.FULoad:
+			if loadLeft == 0 {
+				continue
+			}
+		case isa.FUStore:
+			if storeLeft == 0 {
+				continue
+			}
+		}
+		if !c.srcsReady(u) {
+			continue
+		}
+		if u.isLoad() && !c.loadMayIssue(u) {
+			continue
+		}
+		if u.isLoad() {
+			// The load's address is computable now; a forwarding
+			// match whose data is still in flight stalls this load
+			// (and only this load).
+			a := u.ren.Srcs[0]
+			ea := program.EffAddr(u.inst, c.vals[a.Class][a.Tag])
+			if s := c.forwardFrom(u, ea); s != nil && !s.stDataRdy {
+				continue
+			}
+		}
+		c.issue(u)
+		left--
+		switch u.inst.Op.FU() {
+		case isa.FUALU:
+			aluLeft--
+		case isa.FULoad:
+			loadLeft--
+		case isa.FUStore:
+			storeLeft--
+		}
+	}
+}
+
+func (c *CPU) srcsReady(u *uop) bool {
+	for i := 0; i < isa.MaxSrcs; i++ {
+		if !u.inst.Srcs[i].Valid() {
+			continue
+		}
+		if u.isStore() && i == 1 {
+			continue // store data is captured separately (STD)
+		}
+		a := u.ren.Srcs[i]
+		if !c.ready[a.Class][a.Tag] {
+			return false
+		}
+	}
+	return true
+}
+
+// captureStoreData performs the STD half of split stores: pending store data
+// whose producer has completed is captured into the store queue entry.
+func (c *CPU) captureStoreData() {
+	for _, s := range c.sq {
+		if s.stDataRdy || !s.issued || s.squashed {
+			continue
+		}
+		a := s.ren.Srcs[1]
+		if !s.inst.Srcs[1].Valid() {
+			s.stDataRdy = true
+			s.out.StoreVal = 0
+			continue
+		}
+		if !c.ready[a.Class][a.Tag] {
+			continue
+		}
+		s.stData = c.vals[a.Class][a.Tag]
+		s.out.StoreVal = s.stData
+		s.stDataRdy = true
+		c.Engine.ConsumerIssued(a, c.cycle)
+		c.srcReads++
+	}
+}
+
+// loadMayIssue enforces conservative memory ordering: a load issues only
+// once every older in-flight store has computed its address (so forwarding
+// is exact and no memory-order replay machinery is needed).
+func (c *CPU) loadMayIssue(u *uop) bool {
+	for _, s := range c.sq {
+		if s.seq >= u.seq {
+			break
+		}
+		if !s.issued {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardFrom returns the youngest older store matching ea, if any.
+func (c *CPU) forwardFrom(u *uop, ea uint64) *uop {
+	var match *uop
+	for _, s := range c.sq {
+		if s.seq >= u.seq {
+			break
+		}
+		if s.eaKnown && s.ea == ea {
+			match = s
+		}
+	}
+	return match
+}
+
+// issue schedules u for execution: reads sources (notifying the release
+// engine), evaluates the functional semantics, and assigns the completion
+// cycle.
+func (c *CPU) issue(u *uop) {
+	u.issued = true
+	u.issueAt = c.cycle
+	c.rsCount--
+
+	var srcs [isa.MaxSrcs]uint64
+	for i := 0; i < isa.MaxSrcs; i++ {
+		if !u.inst.Srcs[i].Valid() {
+			continue
+		}
+		if u.isStore() && i == 1 {
+			continue // read at STD capture instead
+		}
+		a := u.ren.Srcs[i]
+		srcs[i] = c.vals[a.Class][a.Tag]
+		c.Engine.ConsumerIssued(a, c.cycle)
+		c.srcReads++
+	}
+	switch {
+	case u.inst.Op.IsMem():
+		c.memOps++
+	case u.inst.Op.IsControl():
+		c.branchOps++
+	default:
+		c.aluOps++
+	}
+
+	lat := uint64(u.inst.Op.Latency())
+	switch {
+	case u.isLoad():
+		ea := program.EffAddr(u.inst, srcs[0])
+		u.ea, u.eaKnown = ea, true
+		var loadVal uint64
+		if s := c.forwardFrom(u, ea); s != nil {
+			loadVal = s.out.StoreVal
+			u.doneAt = c.cycle + uint64(c.cfg.L1D.Latency)
+			c.Stats.Inc("lsq.forwards", 1)
+		} else {
+			loadVal = c.Data.Read(ea)
+			u.doneAt = c.Mem.AccessData(ea, false, c.cycle)
+		}
+		u.out = program.Eval(u.inst, u.pc, srcs[:], func(uint64) uint64 { return loadVal })
+	case u.isStore():
+		// STA: only the address half executes here; the data half is
+		// captured by captureStoreData when its producer completes.
+		u.ea = program.EffAddr(u.inst, srcs[0])
+		u.eaKnown = true
+		u.out = program.Outcome{EA: u.ea, NextPC: u.pc + 1}
+		u.doneAt = c.cycle + lat
+	default:
+		u.out = program.Eval(u.inst, u.pc, srcs[:], nil)
+		u.doneAt = c.cycle + lat
+	}
+	u.actualNext = u.out.NextPC
+
+	// Deterministic one-shot fault injection on faultable ops.
+	if c.cfg.FaultRate > 0 && u.inst.Op.CanFault() && !c.faulted[u.pc] {
+		if program.Mix(u.pc^0xFA017)%uint64(c.cfg.FaultRate) == 0 {
+			u.fault = true
+		}
+	}
+	c.inflight = append(c.inflight, u)
+}
+
+// completeStage applies writebacks for uops finishing this cycle, oldest
+// first, and performs misprediction recovery for the oldest mispredicting
+// control instruction.
+func (c *CPU) completeStage() {
+	var done []*uop
+	n := 0
+	for _, u := range c.inflight {
+		if u.squashed {
+			continue // drop squashed entries
+		}
+		if u.doneAt <= c.cycle {
+			done = append(done, u)
+		} else {
+			c.inflight[n] = u
+			n++
+		}
+	}
+	c.inflight = c.inflight[:n]
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+
+	for _, u := range done {
+		if u.squashed {
+			continue // squashed by an older recovery this same cycle
+		}
+		c.writeback(u)
+		if u.inst.Op.IsControl() && u.actualNext != u.predNext {
+			u.mispredict = true
+			c.recoverFrom(u)
+		}
+	}
+}
+
+func (c *CPU) writeback(u *uop) {
+	u.executed = true
+	for i := 0; i < isa.MaxDsts; i++ {
+		d := u.ren.Dsts[i]
+		if !d.New.Valid() || d.Eliminated {
+			// An eliminated move's destination aliases its source:
+			// the true producer owns the value, readiness, and the
+			// write-pending release condition.
+			continue
+		}
+		c.vals[d.New.Class][d.New.Tag] = u.out.DstVals[i]
+		c.ready[d.New.Class][d.New.Tag] = true
+		c.Engine.ProducerCompleted(d.New, c.cycle)
+	}
+}
+
+// recoverFrom flushes everything younger than u and redirects fetch to u's
+// actual target.
+func (c *CPU) recoverFrom(u *uop) {
+	c.mispredicts++
+	// Pick the recovery style: u's own checkpoint if it has one, else the
+	// nearest older checkpoint plus forward replay (§4.2.1), else the
+	// backward walk.
+	var replayFrom int = -1
+	useWalk := c.cfg.WalkRecovery
+	if !useWalk && u.cp == nil {
+		replayFrom = c.nearestCheckpoint(u.seq)
+		useWalk = replayFrom < 0
+	}
+	c.squashFrom(u.seq+1, useWalk)
+	switch {
+	case useWalk:
+		// SRT already restored by the walk.
+	case u.cp != nil:
+		c.Engine.RestoreCheckpoint(u.cp)
+	default:
+		// Restore the checkpointed instruction's SRT, then re-apply the
+		// mappings of every surviving instruction between it and u.
+		c.Engine.RestoreCheckpoint(c.rob.at(replayFrom).cp)
+		for i := replayFrom + 1; i < c.rob.len(); i++ {
+			s := c.rob.at(i)
+			for j := 0; j < isa.MaxDsts; j++ {
+				c.Engine.ReplayDst(s.ren.Dsts[j])
+			}
+		}
+	}
+	// Train and rewind the predictor.
+	if u.hasPred {
+		c.Pred.Resolve(u.inst, u.pc, &u.pred, u.out.Taken, u.actualNext)
+		c.Pred.Recover(u.inst, u.pc, &u.pred, u.out.Taken)
+	}
+	c.fetchPC = u.actualNext
+	c.fetchHold = c.cycle + 1
+	c.decodeQ = c.decodeQ[:0]
+	c.flushes++
+}
+
+// nearestCheckpoint returns the ROB index of the youngest instruction at or
+// before seq that holds an SRT checkpoint, or -1.
+func (c *CPU) nearestCheckpoint(seq uint64) int {
+	for i := c.rob.len() - 1; i >= 0; i-- {
+		u := c.rob.at(i)
+		if u.seq <= seq && u.cp != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// squashFrom removes every ROB entry with seq >= minSeq, walking from the
+// tail (youngest first). When useWalk is set the SRT is restored via the
+// backward walk (skipping ATR-invalidated previous ptags); otherwise the
+// caller restores a checkpoint afterwards. Engine reclamation (double-free
+// avoidance) runs either way.
+func (c *CPU) squashFrom(minSeq uint64, useWalk bool) {
+	var squashed []*uop
+	for c.rob.len() > 0 {
+		tail := c.rob.at(c.rob.len() - 1)
+		if tail.seq < minSeq {
+			break
+		}
+		u := c.rob.popTail()
+		u.squashed = true
+		c.squashed++
+		if u.cp != nil {
+			c.cpCount--
+		}
+		squashed = append(squashed, u)
+		if useWalk {
+			for i := isa.MaxDsts - 1; i >= 0; i-- {
+				c.Engine.WalkRestoreDst(u.ren.Dsts[i])
+			}
+		}
+		c.Engine.FlushInstr(&u.ren, c.cycle)
+		if !u.issued {
+			c.rsCount--
+		}
+		switch {
+		case u.isLoad():
+			c.lqCount--
+		case u.isStore():
+			c.sqCount--
+		}
+	}
+	// Undo the rename-time consumer counts of squashed consumers that
+	// never read their sources. This runs after every FlushInstr: a
+	// squashed consumer's redefiner is also squashed (it is younger), so
+	// its redefine/precommit state has been undone by now — a counter
+	// reaching zero here must not trigger a release against state that
+	// the same flush is retracting (an interrupt can flush precommitted
+	// instructions).
+	for _, u := range squashed {
+		if u.issued {
+			// An issued store may still owe its data read (STD).
+			if u.isStore() && !u.stDataRdy && u.inst.Srcs[1].Valid() {
+				c.Engine.ConsumerFlushed(u.ren.Srcs[1], c.cycle)
+			}
+			continue
+		}
+		for i := 0; i < isa.MaxSrcs; i++ {
+			if u.inst.Srcs[i].Valid() {
+				c.Engine.ConsumerFlushed(u.ren.Srcs[i], c.cycle)
+			}
+		}
+	}
+	// Remove squashed stores from the store queue.
+	n := 0
+	for _, s := range c.sq {
+		if !s.squashed {
+			c.sq[n] = s
+			n++
+		}
+	}
+	c.sq = c.sq[:n]
+	// Drop squashed uops from the decode queue (they were never renamed).
+	c.decodeQ = c.decodeQ[:0]
+	if c.prePtr > c.rob.len() {
+		c.prePtr = c.rob.len()
+	}
+}
+
+// precommitStage advances the precommit pointer: an entry precommits when
+// every older instruction has precommitted and the entry itself can no
+// longer flush the pipeline (flushers must have completed fault-free). Like
+// retirement, the pointer advances a bounded number of entries per cycle —
+// precommit shares the commit logic's walk bandwidth — which keeps it from
+// sprinting arbitrarily far ahead after a long stall resolves.
+func (c *CPU) precommitStage() {
+	for n := 0; c.prePtr < c.rob.len() && n < c.cfg.RetireWidth; n++ {
+		u := c.rob.at(c.prePtr)
+		if !u.renamed {
+			break
+		}
+		if u.fault {
+			break
+		}
+		// Flushers must resolve before anything younger precommits. In
+		// the optional aggressive mode, loads/stores resolve at address
+		// translation (issue) rather than data return.
+		if u.inst.Op.IsMem() && c.cfg.MemPrecommitAtExec {
+			if !u.issued {
+				break
+			}
+		} else if u.inst.Op.IsFlusher() && !u.executed {
+			break
+		}
+		if !u.precommitted {
+			u.precommitted = true
+			for i := 0; i < isa.MaxDsts; i++ {
+				if u.ren.Dsts[i].New.Valid() {
+					c.Engine.AllocPrecommitted(u.ren.Dsts[i])
+					c.Engine.RedefinerPrecommitted(u.ren.Dsts[i], c.cycle)
+				}
+			}
+		}
+		c.prePtr++
+	}
+}
+
+func (c *CPU) commitStage() {
+	for n := 0; n < c.cfg.RetireWidth && c.rob.len() > 0; n++ {
+		u := c.rob.at(0)
+		if !u.executed || !u.precommitted || (u.isStore() && !u.stDataRdy) {
+			if u.executed && u.fault {
+				c.takeException(u)
+			}
+			return
+		}
+		c.rob.popHead()
+		if c.prePtr > 0 {
+			c.prePtr--
+		}
+		if u.cp != nil {
+			c.cpCount--
+		}
+		if u.isStore() {
+			c.Data.Write(u.out.EA, u.out.StoreVal)
+			c.sqCount--
+			if len(c.sq) > 0 && c.sq[0] == u {
+				c.sq = c.sq[1:]
+			}
+		}
+		if u.isLoad() {
+			c.lqCount--
+		}
+		for i := 0; i < isa.MaxDsts; i++ {
+			d := u.ren.Dsts[i]
+			if !d.New.Valid() {
+				continue
+			}
+			c.Engine.AllocCommitted(d)
+			c.Engine.RedefinerCommitted(d, c.cycle)
+		}
+		// Train the predictor on correctly predicted control flow
+		// (mispredictions already trained at recovery).
+		if u.hasPred && !u.mispredict {
+			c.Pred.Resolve(u.inst, u.pc, &u.pred, u.out.Taken, u.actualNext)
+		}
+		c.archPC = u.actualNext
+		c.committed++
+		if c.OnCommit != nil {
+			c.OnCommit(program.Record{
+				PC: u.pc, Op: u.inst.Op, DstVals: u.out.DstVals,
+				EA: u.out.EA, StoreVal: u.out.StoreVal,
+				Taken: u.out.Taken, NextPC: u.actualNext,
+			})
+		}
+	}
+}
+
+// takeException handles a precise synchronous exception at the ROB head:
+// everything younger than the faulting instruction plus the instruction
+// itself is flushed, architectural state is exactly the pre-fault state,
+// and fetch restarts at the faulting PC after the handler penalty.
+func (c *CPU) takeException(f *uop) {
+	c.exceptions++
+	c.faulted[f.pc] = true
+	c.squashFrom(f.seq, true) // includes f itself
+	c.fetchPC = f.pc
+	c.fetchHold = c.cycle + exceptionCost
+	c.decodeQ = c.decodeQ[:0]
+	c.flushes++
+}
+
+// Activity summarizes the run's event counts for the power model.
+func (c *CPU) Activity() power.Activity {
+	return power.Activity{
+		Cycles:    c.cycle,
+		Committed: c.committed,
+		Renamed:   c.Engine.Stats.Get("rename.alloc"),
+		SrcReads:  c.srcReads,
+		CacheAcc:  c.Mem.L1I.Hits + c.Mem.L1I.Misses + c.Mem.L1D.Hits + c.Mem.L1D.Misses,
+		Flushed:   c.squashed,
+		BranchOps: c.branchOps,
+		ALUOps:    c.aluOps,
+		MemOps:    c.memOps,
+	}
+}
+
+// maybeInterrupt injects asynchronous interrupts per configuration.
+func (c *CPU) maybeInterrupt() {
+	iv := c.cfg.InterruptInterval
+	if iv <= 0 {
+		return
+	}
+	if c.cycle > 0 && c.cycle%uint64(iv) == 0 {
+		c.pendingInterrupt = true
+	}
+	if !c.pendingInterrupt {
+		return
+	}
+	switch c.cfg.InterruptMode {
+	case config.InterruptDrain:
+		// Fetch is held (see fetchStage); vector once the ROB drains.
+		if c.rob.len() == 0 && len(c.decodeQ) == 0 {
+			c.serveInterrupt()
+		}
+	case config.InterruptFlush:
+		// Flush the not-yet-precommitted suffix of the ROB — but only
+		// once no atomic region straddles the precommit boundary
+		// (the §4.1 option (b) counter, at the precommit pointer:
+		// precommitted instructions are guaranteed to commit, which
+		// both ATR claims and non-speculative early release rely on).
+		// The precommitted prefix then drains before vectoring.
+		if !c.interruptFlushed {
+			if c.Engine.OpenPrecommitRegions() > 0 {
+				c.Stats.Inc("interrupt.deferred_cycles", 1)
+				return
+			}
+			if c.prePtr < c.rob.len() {
+				c.squashFrom(c.rob.at(c.prePtr).seq, true)
+				c.flushes++
+			}
+			c.decodeQ = c.decodeQ[:0]
+			c.interruptFlushed = true
+		}
+		if c.rob.len() == 0 {
+			c.fetchPC = c.archPC
+			c.interruptFlushed = false
+			c.serveInterrupt()
+		}
+	}
+}
+
+func (c *CPU) serveInterrupt() {
+	c.pendingInterrupt = false
+	c.interrupts++
+	hold := c.cycle + uint64(c.cfg.InterruptCost)
+	if hold > c.fetchHold {
+		c.fetchHold = hold
+	}
+}

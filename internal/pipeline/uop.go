@@ -1,0 +1,116 @@
+// Package pipeline models the out-of-order superscalar core of Table 1: a
+// decoupled predicted-path frontend, rename/dispatch, an age-ordered
+// scheduler over diversified functional units, a load/store queue with
+// store-to-load forwarding, a reorder buffer with a precommit pointer, and
+// commit. It executes real data values, fetches down mispredicted paths, and
+// recovers via SRT checkpoints or backward walks, driving the release
+// engine in internal/core through its event protocol.
+package pipeline
+
+import (
+	"atr/internal/bpred"
+	"atr/internal/core"
+	"atr/internal/isa"
+	"atr/internal/program"
+)
+
+// uop is one in-flight dynamic micro-operation.
+type uop struct {
+	seq  uint64 // fetch order, never reused
+	pc   uint64
+	inst *isa.Inst
+
+	// Frontend.
+	fetchedAt  uint64
+	renameable uint64 // earliest rename cycle (frontend depth)
+	pred       bpred.BranchPrediction
+	hasPred    bool
+	predNext   uint64 // predicted next PC used by fetch
+
+	// Rename.
+	ren      core.RenameOut
+	renamed  bool
+	renCycle uint64
+	cp       *core.Checkpoint // SRT snapshot (mispredictable control only)
+
+	// Scheduling and execution.
+	issued   bool
+	issueAt  uint64
+	doneAt   uint64 // completion cycle once issued
+	executed bool   // completion applied (results broadcast)
+	out      program.Outcome
+
+	// Memory. Stores split address generation from data: the address
+	// issues as soon as its base register is ready (STA), while the data
+	// is captured whenever its producer completes (STD). Loads only wait
+	// for older stores' addresses, plus the data of a forwarding match.
+	ea        uint64
+	eaKnown   bool
+	stData    uint64
+	stDataRdy bool
+
+	// Control resolution.
+	actualNext uint64
+	mispredict bool
+
+	// Exceptions.
+	fault bool
+
+	precommitted bool
+	squashed     bool
+}
+
+func (u *uop) isLoad() bool  { return u.inst.Op == isa.OpLoad }
+func (u *uop) isStore() bool { return u.inst.Op == isa.OpStore }
+
+// mispredictable reports whether this op needs an SRT checkpoint.
+func (u *uop) mispredictable() bool {
+	return u.inst.Op.IsCondBranch() || u.inst.Op.IsIndirect()
+}
+
+// rob is a ring buffer of in-flight uops in fetch order.
+type rob struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+func newROB(size int) *rob { return &rob{buf: make([]*uop, size)} }
+
+func (r *rob) len() int   { return r.n }
+func (r *rob) cap() int   { return len(r.buf) }
+func (r *rob) full() bool { return r.n == len(r.buf) }
+
+func (r *rob) push(u *uop) {
+	if r.full() {
+		panic("pipeline: ROB overflow")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = u
+	r.n++
+}
+
+// at returns the i-th oldest entry (0 = head).
+func (r *rob) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *rob) popHead() *uop {
+	if r.n == 0 {
+		panic("pipeline: ROB underflow")
+	}
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return u
+}
+
+// popTail removes and returns the youngest entry.
+func (r *rob) popTail() *uop {
+	if r.n == 0 {
+		panic("pipeline: ROB underflow")
+	}
+	i := (r.head + r.n - 1) % len(r.buf)
+	u := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return u
+}

@@ -1,0 +1,145 @@
+// Package power is an analytic McPAT-style power and area model for the
+// simulated core, used to reproduce the paper's Fig 15 efficiency numbers
+// (runtime power and core area deltas between register-release schemes).
+//
+// The model follows McPAT's structure-level decomposition: each major block
+// contributes area and energy-per-access terms that scale with its geometry
+// (entries, ports, width). Absolute values are calibrated to a Golden
+// Cove-like core at a nominal process; the experiments report ratios, which
+// are insensitive to the calibration constants.
+package power
+
+import (
+	"math"
+
+	"atr/internal/config"
+)
+
+// Technology/calibration constants (nominal 7nm-class, arbitrary but
+// self-consistent units: mm² for area, pJ for energy, W for static power).
+const (
+	regCellArea   = 0.00035 // mm² per 64-bit register cell incl. decode
+	portAreaFac   = 0.18    // area growth per additional RF port (relative)
+	regReadPJ     = 0.9     // pJ per 64-bit register read at base porting
+	regWritePJ    = 1.3     // pJ per 64-bit register write
+	robEntryArea  = 0.00060
+	robAccessPJ   = 1.1
+	rsEntryArea   = 0.00110 // CAM-heavy
+	rsAccessPJ    = 2.4
+	lsqEntryArea  = 0.00095
+	lsqAccessPJ   = 1.9
+	cacheMM2PerKB = 0.018
+	cacheReadPJ   = 2.2 // per access at L1 geometry, grows with size
+	aluArea       = 0.055
+	aluPJ         = 3.1
+	bpredArea     = 0.30
+	bpredPJ       = 1.4
+	frontendArea  = 1.9 // decode/fetch fixed blocks
+	staticWPerMM2 = 0.045
+	clockGHz      = 3.0
+	baseCoreArea  = 2.2 // wires, TLBs, misc
+)
+
+// rfPorts returns the read/write port count implied by the machine width.
+func rfPorts(cfg config.Config) (reads, writes int) {
+	return 2 * cfg.RenameWidth, cfg.RenameWidth
+}
+
+// Area is the static area breakdown in mm².
+type Area struct {
+	RegisterFile float64
+	ROB          float64
+	RS           float64
+	LSQ          float64
+	Caches       float64
+	ALUs         float64
+	Bpred        float64
+	Frontend     float64
+	Other        float64
+}
+
+// Total returns the summed core area.
+func (a Area) Total() float64 {
+	return a.RegisterFile + a.ROB + a.RS + a.LSQ + a.Caches + a.ALUs +
+		a.Bpred + a.Frontend + a.Other
+}
+
+// CoreArea computes the area model for cfg. Only core-private structures are
+// counted (the shared LLC is excluded, as in per-core comparisons).
+func CoreArea(cfg config.Config) Area {
+	regs := cfg.PhysRegs
+	if regs == 0 {
+		regs = 512 // "infinite" configurations modelled as ROB-sized
+	}
+	r, w := rfPorts(cfg)
+	portFactor := 1 + portAreaFac*float64(r+w-3)
+	// Both the scalar and the FP file; the FP file's wider cells are
+	// folded into a 2.5x cell factor.
+	rfArea := float64(regs) * regCellArea * portFactor * (1 + 2.5)
+
+	cacheKB := float64(cfg.L1I.SizeBytes+cfg.L1D.SizeBytes+cfg.L2.SizeBytes) / 1024
+	return Area{
+		RegisterFile: rfArea,
+		ROB:          float64(cfg.ROBSize) * robEntryArea,
+		RS:           float64(cfg.RSSize) * rsEntryArea,
+		LSQ:          float64(cfg.LoadQueue+cfg.StoreQueue) * lsqEntryArea,
+		Caches:       cacheKB * cacheMM2PerKB,
+		ALUs:         float64(cfg.NumALU+cfg.NumLoadPorts+cfg.NumStorePorts) * aluArea,
+		Bpred:        bpredArea,
+		Frontend:     frontendArea,
+		Other:        baseCoreArea,
+	}
+}
+
+// Activity summarizes one simulation run's event counts for dynamic power.
+type Activity struct {
+	Cycles    uint64
+	Committed uint64
+	Renamed   uint64 // register allocations (RF writes at rename+writeback)
+	SrcReads  uint64 // operand reads
+	CacheAcc  uint64 // L1 accesses (I+D)
+	Flushed   uint64 // squashed instructions (wasted work)
+	BranchOps uint64
+	ALUOps    uint64
+	MemOps    uint64
+}
+
+// Power is the runtime power breakdown in watts.
+type Power struct {
+	Dynamic float64
+	Static  float64
+}
+
+// Total returns dynamic plus static power.
+func (p Power) Total() float64 { return p.Dynamic + p.Static }
+
+// RuntimePower evaluates the power model for a run: dynamic energy from the
+// activity counts divided by runtime, plus leakage proportional to area.
+func RuntimePower(cfg config.Config, act Activity) Power {
+	area := CoreArea(cfg)
+	if act.Cycles == 0 {
+		return Power{Static: area.Total() * staticWPerMM2}
+	}
+	regs := cfg.PhysRegs
+	if regs == 0 {
+		regs = 512
+	}
+	// Per-access energies grow weakly with structure size (wordline/
+	// bitline length ~ sqrt of entries).
+	rfScale := math.Sqrt(float64(regs) / 128.0)
+	cacheScale := math.Sqrt(float64(cfg.L1D.SizeBytes) / float64(48<<10))
+
+	pj := float64(act.SrcReads)*regReadPJ*rfScale +
+		float64(act.Renamed)*2*regWritePJ*rfScale + // allocate + writeback
+		float64(act.Committed+act.Flushed)*(robAccessPJ+rsAccessPJ) +
+		float64(act.MemOps)*lsqAccessPJ +
+		float64(act.CacheAcc)*cacheReadPJ*cacheScale +
+		float64(act.ALUOps)*aluPJ +
+		float64(act.BranchOps)*bpredPJ
+	seconds := float64(act.Cycles) / (clockGHz * 1e9)
+	dynamic := pj * 1e-12 / seconds
+	return Power{
+		Dynamic: dynamic,
+		Static:  area.Total() * staticWPerMM2,
+	}
+}

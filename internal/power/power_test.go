@@ -1,0 +1,103 @@
+package power
+
+import (
+	"testing"
+
+	"atr/internal/config"
+)
+
+func TestAreaMonotonicInRegisters(t *testing.T) {
+	cfg := config.GoldenCove()
+	small := CoreArea(cfg.WithPhysRegs(64))
+	large := CoreArea(cfg.WithPhysRegs(280))
+	if small.RegisterFile >= large.RegisterFile {
+		t.Errorf("RF area not monotonic: %v vs %v", small.RegisterFile, large.RegisterFile)
+	}
+	if small.Total() >= large.Total() {
+		t.Errorf("total area not monotonic: %v vs %v", small.Total(), large.Total())
+	}
+	// Non-RF components are unaffected.
+	if small.ROB != large.ROB || small.Caches != large.Caches {
+		t.Error("non-RF area should not depend on PhysRegs")
+	}
+}
+
+func TestAreaComponentsPositive(t *testing.T) {
+	a := CoreArea(config.GoldenCove())
+	for name, v := range map[string]float64{
+		"rf": a.RegisterFile, "rob": a.ROB, "rs": a.RS, "lsq": a.LSQ,
+		"caches": a.Caches, "alus": a.ALUs, "bpred": a.Bpred,
+		"frontend": a.Frontend, "other": a.Other,
+	} {
+		if v <= 0 {
+			t.Errorf("%s area = %v, want > 0", name, v)
+		}
+	}
+	total := a.Total()
+	if total < 3 || total > 50 {
+		t.Errorf("total core area %.2f mm² implausible", total)
+	}
+}
+
+func TestRFAreaReductionBand(t *testing.T) {
+	// The paper's Fig 15 reports a 2.7% core-area reduction for a 27%
+	// register-file shrink (280 -> 204). Our model should land in the
+	// same order of magnitude.
+	cfg := config.GoldenCove()
+	full := CoreArea(cfg.WithPhysRegs(280)).Total()
+	shrunk := CoreArea(cfg.WithPhysRegs(204)).Total()
+	red := 1 - shrunk/full
+	if red < 0.005 || red > 0.10 {
+		t.Errorf("area reduction %.3f outside the plausible 0.5%%..10%% band", red)
+	}
+}
+
+func testActivity() Activity {
+	return Activity{
+		Cycles: 1_000_000, Committed: 1_500_000, Renamed: 1_200_000,
+		SrcReads: 2_500_000, CacheAcc: 2_000_000, Flushed: 150_000,
+		BranchOps: 250_000, ALUOps: 900_000, MemOps: 500_000,
+	}
+}
+
+func TestRuntimePowerPlausible(t *testing.T) {
+	p := RuntimePower(config.GoldenCove(), testActivity())
+	if p.Dynamic <= 0 || p.Static <= 0 {
+		t.Fatalf("power components must be positive: %+v", p)
+	}
+	if p.Total() < 0.5 || p.Total() > 50 {
+		t.Errorf("core power %.2f W implausible", p.Total())
+	}
+}
+
+func TestPowerScalesWithRegisters(t *testing.T) {
+	act := testActivity()
+	small := RuntimePower(config.GoldenCove().WithPhysRegs(64), act)
+	large := RuntimePower(config.GoldenCove().WithPhysRegs(280), act)
+	if small.Total() >= large.Total() {
+		t.Errorf("same activity on a smaller RF must use less power: %v vs %v",
+			small.Total(), large.Total())
+	}
+}
+
+func TestPowerScalesWithActivity(t *testing.T) {
+	cfg := config.GoldenCove()
+	lo := RuntimePower(cfg, testActivity())
+	hi := testActivity()
+	hi.SrcReads *= 2
+	hi.ALUOps *= 2
+	hiP := RuntimePower(cfg, hi)
+	if hiP.Dynamic <= lo.Dynamic {
+		t.Error("dynamic power must grow with activity")
+	}
+	if hiP.Static != lo.Static {
+		t.Error("static power must not depend on activity")
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	p := RuntimePower(config.GoldenCove(), Activity{})
+	if p.Dynamic != 0 || p.Static <= 0 {
+		t.Errorf("zero-cycle run: %+v", p)
+	}
+}

@@ -1,0 +1,246 @@
+package program
+
+import (
+	"fmt"
+
+	"atr/internal/isa"
+)
+
+// Builder assembles a Program with symbolic labels. Methods append one
+// instruction each and return the builder for chaining. Branch and jump
+// targets may reference labels defined later; Build resolves them.
+type Builder struct {
+	code    []isa.Inst
+	labels  map[string]uint64
+	fixups  []fixup
+	memSeed uint64
+	regSeed uint64
+	err     error
+}
+
+type fixup struct {
+	pc    int
+	label string
+	slot  int // -1 for Target field, else index into Targets
+}
+
+// NewBuilder returns an empty builder with the given value seeds.
+func NewBuilder(regSeed, memSeed uint64) *Builder {
+	return &Builder{labels: make(map[string]uint64), memSeed: memSeed, regSeed: regSeed}
+}
+
+// PC returns the address of the next instruction to be appended.
+func (b *Builder) PC() uint64 { return uint64(len(b.code)) }
+
+// Label defines name at the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("program: duplicate label %q", name)
+	}
+	b.labels[name] = b.PC()
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.NewInst(isa.OpNop, nil, nil)) }
+
+// ALU appends dst = a + b + imm.
+func (b *Builder) ALU(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpALU, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// LEA appends dst = a + b<<3 + imm.
+func (b *Builder) LEA(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpLEA, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// Move appends dst = src.
+func (b *Builder) Move(dst, src isa.Reg) *Builder {
+	return b.emit(isa.NewInst(isa.OpMove, []isa.Reg{dst}, []isa.Reg{src}))
+}
+
+// Mul appends dst = mix(a, b, imm) — a value-randomizing multiply.
+func (b *Builder) Mul(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpMul, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// Div appends dst = a / (b|1) + imm (a faultable long-latency op).
+func (b *Builder) Div(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpDiv, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// Cmp appends flagsDst = flags(a ? b+imm).
+func (b *Builder) Cmp(a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpCmp, []isa.Reg{isa.Flags}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// Load appends dst = mem[base + ((a+disp) mod span)] over the region at
+// base.
+func (b *Builder) Load(dst, a isa.Reg, base, span uint64, disp int64) *Builder {
+	in := isa.NewInst(isa.OpLoad, []isa.Reg{dst}, []isa.Reg{a})
+	in.Target, in.Span, in.Imm = base, span, disp
+	return b.emit(in)
+}
+
+// Store appends mem[base + ((a+disp) mod span)] = val.
+func (b *Builder) Store(a, val isa.Reg, base, span uint64, disp int64) *Builder {
+	in := isa.NewInst(isa.OpStore, nil, []isa.Reg{a, val})
+	in.Target, in.Span, in.Imm = base, span, disp
+	return b.emit(in)
+}
+
+// Branch appends a conditional branch on the flags register with predicate
+// pred, targeting label.
+func (b *Builder) Branch(pred int64, label string) *Builder {
+	in := isa.NewInst(isa.OpBranch, nil, []isa.Reg{isa.Flags})
+	in.Imm = pred & 7
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label, slot: -1})
+	return b.emit(in)
+}
+
+// BranchReg appends a conditional branch testing register src directly
+// (treating its value as a flag word).
+func (b *Builder) BranchReg(src isa.Reg, pred int64, label string) *Builder {
+	in := isa.NewInst(isa.OpBranch, nil, []isa.Reg{src})
+	in.Imm = pred & 7
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label, slot: -1})
+	return b.emit(in)
+}
+
+// FusedBranch appends a fused compare-and-branch: computes flags from (a,b),
+// writes them to flagsDst, and branches on pred.
+func (b *Builder) FusedBranch(a, bsrc isa.Reg, pred, cmpImm int64, label string) *Builder {
+	in := isa.NewInst(isa.OpBranch, []isa.Reg{isa.Flags}, srcList(a, bsrc))
+	in.Imm = pred&7 | cmpImm<<3
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label, slot: -1})
+	return b.emit(in)
+}
+
+// Jump appends an unconditional direct jump to label.
+func (b *Builder) Jump(label string) *Builder {
+	in := isa.NewInst(isa.OpJump, nil, nil)
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label, slot: -1})
+	return b.emit(in)
+}
+
+// Call appends a direct call to label, writing the return address into link.
+func (b *Builder) Call(link isa.Reg, label string) *Builder {
+	in := isa.NewInst(isa.OpCall, []isa.Reg{link}, nil)
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label, slot: -1})
+	return b.emit(in)
+}
+
+// Ret appends a return through the link register.
+func (b *Builder) Ret(link isa.Reg) *Builder {
+	return b.emit(isa.NewInst(isa.OpRet, nil, []isa.Reg{link}))
+}
+
+// JumpInd appends an indirect jump selecting among the labeled targets by
+// sel's value.
+func (b *Builder) JumpInd(sel isa.Reg, labels ...string) *Builder {
+	in := isa.NewInst(isa.OpJumpInd, nil, []isa.Reg{sel})
+	in.Targets = make([]uint64, len(labels))
+	for i, l := range labels {
+		b.fixups = append(b.fixups, fixup{pc: len(b.code), label: l, slot: i})
+	}
+	return b.emit(in)
+}
+
+// CallInd appends an indirect call selecting among the labeled targets.
+func (b *Builder) CallInd(link, sel isa.Reg, labels ...string) *Builder {
+	in := isa.NewInst(isa.OpCallInd, []isa.Reg{link}, []isa.Reg{sel})
+	in.Targets = make([]uint64, len(labels))
+	for i, l := range labels {
+		b.fixups = append(b.fixups, fixup{pc: len(b.code), label: l, slot: i})
+	}
+	return b.emit(in)
+}
+
+// FPAdd appends dst = a + b + imm on the FP pipes.
+func (b *Builder) FPAdd(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpFPAdd, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// FPMul appends dst = mix(a, b, imm) on the FP pipes.
+func (b *Builder) FPMul(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpFPMul, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// FPDiv appends a long-latency faultable FP divide.
+func (b *Builder) FPDiv(dst, a, bsrc isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpFPDiv, []isa.Reg{dst}, srcList(a, bsrc))
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// FPMove appends dst = src on the FP pipes.
+func (b *Builder) FPMove(dst, src isa.Reg) *Builder {
+	return b.emit(isa.NewInst(isa.OpFPMove, []isa.Reg{dst}, []isa.Reg{src}))
+}
+
+// Cvt appends an int<->fp conversion dst = cvt(src).
+func (b *Builder) Cvt(dst, src isa.Reg, imm int64) *Builder {
+	in := isa.NewInst(isa.OpCvt, []isa.Reg{dst}, []isa.Reg{src})
+	in.Imm = imm
+	return b.emit(in)
+}
+
+// Raw appends a pre-built instruction unchanged.
+func (b *Builder) Raw(in isa.Inst) *Builder { return b.emit(in) }
+
+func srcList(a, bsrc isa.Reg) []isa.Reg {
+	if bsrc == isa.RegInvalid {
+		return []isa.Reg{a}
+	}
+	return []isa.Reg{a, bsrc}
+}
+
+// Build resolves labels and returns the program. It fails on undefined
+// labels or duplicate label definitions.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program: undefined label %q referenced at pc %d", f.label, f.pc)
+		}
+		if f.slot < 0 {
+			b.code[f.pc].Target = pc
+		} else {
+			b.code[f.pc].Targets[f.slot] = pc
+		}
+	}
+	code := make([]isa.Inst, len(b.code))
+	copy(code, b.code)
+	return &Program{Code: code, MemSeed: b.memSeed, RegSeed: b.regSeed}, nil
+}
+
+// MustBuild is Build but panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 7, -3} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if h.Bucket(1) != 2 {
+		t.Errorf("Bucket(1) = %d, want 2", h.Bucket(1))
+	}
+	if h.Bucket(0) != 2 { // includes the clamped -3
+		t.Errorf("Bucket(0) = %d, want 2", h.Bucket(0))
+	}
+	if h.Bucket(99) != 1 { // the overflowed 7
+		t.Errorf("overflow = %d, want 1", h.Bucket(99))
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/6.0) > 1e-12 {
+		t.Errorf("Fraction(1) = %v", got)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(2)
+	h.Add(4)
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	empty := NewHistogram(10)
+	if empty.Mean() != 0 {
+		t.Error("empty Mean should be 0")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if got := h.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %d, want 50", got)
+	}
+	if got := h.Percentile(0.99); got != 99 {
+		t.Errorf("P99 = %d, want 99", got)
+	}
+	if got := h.Percentile(1.0); got != 100 {
+		t.Errorf("P100 = %d, want 100", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("commits", 10)
+	c.Inc("commits", 5)
+	c.Inc("flushes", 1)
+	if c.Get("commits") != 15 {
+		t.Errorf("commits = %d", c.Get("commits"))
+	}
+	if c.Get("absent") != 0 {
+		t.Error("absent counter should read 0")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "commits" || names[1] != "flushes" {
+		t.Errorf("Names = %v", names)
+	}
+	if c.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestLedgerStateFractions(t *testing.T) {
+	g := NewLifetimeLedger()
+	// Renamed at 100, last consumed 110, redefined 105, precommit 120,
+	// commit 130: in-use 10, unused 10, verified-unused 10.
+	g.Record(&RegLifetime{
+		Renamed: 100, LastConsumed: 110, Redefined: 105,
+		Precommitted: 120, Committed: 130, Consumers: 2, Region: RegionAtomic,
+	})
+	inUse, unused, verified := g.StateFractions()
+	for name, got := range map[string]float64{"inUse": inUse, "unused": unused, "verified": verified} {
+		if math.Abs(got-1.0/3.0) > 1e-12 {
+			t.Errorf("%s = %v, want 1/3", name, got)
+		}
+	}
+	if g.Completed() != 1 {
+		t.Errorf("Completed = %d", g.Completed())
+	}
+}
+
+func TestLedgerRedefineBeforeConsume(t *testing.T) {
+	// The paper notes redefinition may precede last consumption; end-of-use
+	// is the max of the two.
+	g := NewLifetimeLedger()
+	g.Record(&RegLifetime{
+		Renamed: 10, Redefined: 12, LastConsumed: 20,
+		Precommitted: 22, Committed: 30, Region: RegionAtomic, Consumers: 1,
+	})
+	if g.InUse != 10 { // 20-10
+		t.Errorf("InUse = %d, want 10", g.InUse)
+	}
+	if g.Unused != 2 { // 22-20
+		t.Errorf("Unused = %d, want 2", g.Unused)
+	}
+	if g.VerifiedUnused != 8 { // 30-22
+		t.Errorf("VerifiedUnused = %d, want 8", g.VerifiedUnused)
+	}
+}
+
+func TestLedgerSkipsIncomplete(t *testing.T) {
+	g := NewLifetimeLedger()
+	g.Record(&RegLifetime{Renamed: 5}) // never redefined
+	g.Record(&RegLifetime{Renamed: 5, Redefined: 9, Committed: 12, WrongPath: true})
+	if g.Completed() != 0 {
+		t.Errorf("Completed = %d, want 0", g.Completed())
+	}
+	nb, ne, a := g.RegionFractions()
+	if nb != 0 || ne != 0 || a != 0 {
+		t.Error("incomplete allocations should not contribute to region fractions")
+	}
+}
+
+func TestLedgerRegionFractionsCumulative(t *testing.T) {
+	g := NewLifetimeLedger()
+	add := func(k RegionKind) {
+		g.Record(&RegLifetime{Renamed: 1, Redefined: 2, LastConsumed: 2,
+			Precommitted: 3, Committed: 4, Region: k})
+	}
+	add(RegionAtomic)
+	add(RegionNonBranch)
+	add(RegionNonExcept)
+	add(RegionNone)
+	nb, ne, a := g.RegionFractions()
+	if a != 0.25 {
+		t.Errorf("atomic = %v, want 0.25", a)
+	}
+	if nb != 0.5 { // atomic + non-branch
+		t.Errorf("non-branch = %v, want 0.5", nb)
+	}
+	if ne != 0.5 { // atomic + non-except
+		t.Errorf("non-except = %v, want 0.5", ne)
+	}
+}
+
+func TestLedgerEventGaps(t *testing.T) {
+	g := NewLifetimeLedger()
+	g.Record(&RegLifetime{Renamed: 100, Redefined: 104, LastConsumed: 110,
+		Precommitted: 112, Committed: 120, Region: RegionAtomic, Consumers: 3})
+	g.Record(&RegLifetime{Renamed: 200, Redefined: 202, LastConsumed: 204,
+		Precommitted: 205, Committed: 210, Region: RegionAtomic, Consumers: 1})
+	re, co, cm := g.EventGaps()
+	if re != 3 { // (4+2)/2
+		t.Errorf("toRedefine = %v, want 3", re)
+	}
+	if co != 7 { // (10+4)/2
+		t.Errorf("toConsume = %v, want 7", co)
+	}
+	if cm != 15 { // (20+10)/2
+		t.Errorf("toCommit = %v, want 15", cm)
+	}
+	if g.ConsumerHist.Bucket(3) != 1 || g.ConsumerHist.Bucket(1) != 1 {
+		t.Error("consumer histogram not populated")
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	a := NewLifetimeLedger()
+	b := NewLifetimeLedger()
+	l := &RegLifetime{Renamed: 1, Redefined: 3, LastConsumed: 5,
+		Precommitted: 6, Committed: 9, Region: RegionAtomic, Consumers: 2}
+	a.Record(l)
+	b.Record(l)
+	a.Merge(b)
+	if a.Completed() != 2 {
+		t.Errorf("merged Completed = %d, want 2", a.Completed())
+	}
+	if a.InUse != 8 {
+		t.Errorf("merged InUse = %d, want 8", a.InUse)
+	}
+	if a.ConsumerHist.Bucket(2) != 2 {
+		t.Errorf("merged hist = %d, want 2", a.ConsumerHist.Bucket(2))
+	}
+}
+
+// Property: state fractions always sum to 1 for any valid event ordering.
+func TestStateFractionsSumToOne(t *testing.T) {
+	f := func(rn, d1, d2, d3, d4 uint16) bool {
+		g := NewLifetimeLedger()
+		renamed := uint64(rn) + 1
+		redefined := renamed + uint64(d1)%100 + 1
+		consumed := renamed + uint64(d2)%100
+		pre := redefined + uint64(d3)%100
+		commit := pre + uint64(d4)%100 + 1
+		g.Record(&RegLifetime{Renamed: renamed, Redefined: redefined,
+			LastConsumed: consumed, Precommitted: pre, Committed: commit,
+			Region: RegionAtomic, Consumers: 1})
+		iu, un, vu := g.StateFractions()
+		sum := iu + un + vu
+		// Degenerate zero-length lifetimes yield 0,0,0.
+		return (sum == 0 && g.InUse+g.Unused+g.VerifiedUnused == 0) ||
+			math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram count equals the number of Adds and percentile is
+// monotonic in p.
+func TestHistogramProperties(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram(64)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		if h.Count() != uint64(len(vals)) {
+			return false
+		}
+		last := 0
+		for _, p := range []float64{0.1, 0.5, 0.9, 1.0} {
+			q := h.Percentile(p)
+			if q < last {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	want := map[RegionKind]string{
+		RegionNone: "none", RegionNonBranch: "non-branch",
+		RegionNonExcept: "non-except", RegionAtomic: "atomic",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

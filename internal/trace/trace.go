@@ -1,0 +1,244 @@
+// Package trace provides a compact binary format for committed-instruction
+// traces (the analog of Scarab's trace-based frontend), plus an in-order
+// trace analyzer that classifies register allocations into the paper's
+// region kinds (Fig 6) and counts consumers (Fig 12) without running the
+// timing model. The analyzer is an independent implementation of the region
+// semantics, used to cross-validate the renaming engine's statistics.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+	"atr/internal/stats"
+)
+
+// magic identifies the trace format; the byte after it is the version.
+var magic = [4]byte{'A', 'T', 'R', 'T'}
+
+const version = 1
+
+// Record is one traced committed instruction.
+type Record struct {
+	PC    uint64
+	Op    isa.Op
+	Taken bool
+	EA    uint64 // memory ops only
+}
+
+// FromProgram converts an emulator/pipeline record.
+func FromProgram(r program.Record) Record {
+	return Record{PC: r.PC, Op: r.Op, Taken: r.Taken, EA: r.EA}
+}
+
+// Writer streams records to an underlying writer.
+type Writer struct {
+	w     *bufio.Writer
+	buf   [2 * binary.MaxVarintLen64]byte
+	count uint64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *Writer) Write(r Record) error {
+	op := byte(r.Op)
+	if r.Taken {
+		op |= 0x80
+	}
+	if err := t.w.WriteByte(op); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(t.buf[:], r.PC)
+	if r.Op.IsMem() {
+		n += binary.PutUvarint(t.buf[n:], r.EA)
+	}
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader streams records back.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [5]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte{m[0], m[1], m[2], m[3]} != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if m[4] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", m[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record; io.EOF at end of trace.
+func (t *Reader) Read() (Record, error) {
+	op, err := t.r.ReadByte()
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{Op: isa.Op(op & 0x7F), Taken: op&0x80 != 0}
+	if rec.PC, err = binary.ReadUvarint(t.r); err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	if rec.Op.IsMem() {
+		if rec.EA, err = binary.ReadUvarint(t.r); err != nil {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+	}
+	return rec, nil
+}
+
+// Analysis is the outcome of an in-order region analysis over a trace or
+// program: the Fig 6 region ratios and the Fig 12 consumer histogram, for a
+// chosen register class.
+type Analysis struct {
+	Allocations uint64
+	NonBranch   float64
+	NonExcept   float64
+	Atomic      float64
+	Consumers   *stats.Histogram
+}
+
+// regState tracks one live architectural mapping during analysis.
+type regState struct {
+	sawBranch bool
+	sawExcept bool
+	consumers int
+	valid     bool
+}
+
+// Analyzer performs the in-order region classification: it maintains, per
+// architectural register, whether a flusher was encountered since the last
+// redefinition, mirroring the bulk-marking semantics (§4.2.2) without any
+// microarchitectural state.
+type Analyzer struct {
+	class isa.RegClass
+	regs  [isa.NumRegs]regState
+	total uint64
+	kinds [4]uint64
+	hist  *stats.Histogram
+	prog  *program.Program
+}
+
+// NewAnalyzer analyzes allocations of the given register class against the
+// static program (needed to recover register operands from PCs). The initial
+// architectural mappings count as live allocations, matching the engine.
+func NewAnalyzer(p *program.Program, class isa.RegClass) *Analyzer {
+	a := &Analyzer{class: class, hist: stats.NewHistogram(16), prog: p}
+	for r := range a.regs {
+		a.regs[r].valid = true
+	}
+	return a
+}
+
+// Step feeds one committed instruction.
+func (a *Analyzer) Step(rec Record) {
+	in := a.prog.At(rec.PC)
+	// Consumers first (an instruction reads its sources before writing).
+	for _, s := range in.Srcs {
+		if s.Valid() && s.Class() == a.class {
+			a.regs[s].consumers++
+		}
+	}
+	// Bulk marking: a flusher poisons every live mapping before its own
+	// destinations redefine.
+	if in.Op.IsFlusher() {
+		branch := in.Op.IsBranchClassFlusher()
+		for r := range a.regs {
+			if branch {
+				a.regs[r].sawBranch = true
+			} else {
+				a.regs[r].sawExcept = true
+			}
+		}
+	}
+	for _, d := range in.Dsts {
+		if !d.Valid() || d.Class() != a.class {
+			continue
+		}
+		st := &a.regs[d]
+		if st.valid {
+			a.total++
+			switch {
+			case !st.sawBranch && !st.sawExcept:
+				a.kinds[stats.RegionAtomic]++
+				a.hist.Add(st.consumers)
+			case !st.sawBranch:
+				a.kinds[stats.RegionNonBranch]++
+			case !st.sawExcept:
+				a.kinds[stats.RegionNonExcept]++
+			default:
+				a.kinds[stats.RegionNone]++
+			}
+		}
+		*st = regState{valid: true}
+	}
+	if in.Op.IsBranchClassFlusher() {
+		// Branch-class flushers poison their own destinations too.
+		for _, d := range in.Dsts {
+			if d.Valid() && d.Class() == a.class {
+				a.regs[d].sawBranch = true
+			}
+		}
+	}
+}
+
+// Result summarizes the analysis so far.
+func (a *Analyzer) Result() Analysis {
+	res := Analysis{Allocations: a.total, Consumers: a.hist}
+	if a.total == 0 {
+		return res
+	}
+	atomic := float64(a.kinds[stats.RegionAtomic])
+	res.Atomic = atomic / float64(a.total)
+	res.NonBranch = (float64(a.kinds[stats.RegionNonBranch]) + atomic) / float64(a.total)
+	res.NonExcept = (float64(a.kinds[stats.RegionNonExcept]) + atomic) / float64(a.total)
+	return res
+}
+
+// AnalyzeProgram runs the functional emulator for n instructions and
+// classifies all allocations of the given class.
+func AnalyzeProgram(p *program.Program, class isa.RegClass, n int) Analysis {
+	a := NewAnalyzer(p, class)
+	e := program.NewEmulator(p)
+	for i := 0; i < n; i++ {
+		rec, ok := e.Step()
+		if !ok {
+			break
+		}
+		a.Step(FromProgram(rec))
+	}
+	return a.Result()
+}

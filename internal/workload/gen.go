@@ -1,0 +1,392 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+)
+
+// Register conventions used by generated programs. Data registers rotate
+// within R0..R(RegWindow-1) and F0..; the upper GPRs are reserved for
+// structural roles so that loop trip counts and return addresses stay out of
+// the pseudo-random dataflow.
+const (
+	regCounter = isa.R13 // inner-loop trip counter
+	regLink    = isa.R14 // call return address
+	regStride  = isa.R15 // streaming induction variable
+	regChase   = isa.R12 // pointer-chase chain register
+)
+
+// memBase is the base address of the generated program's data region.
+const memBase = 0x10_0000
+
+// Generate builds the executable program for the profile. The same profile
+// always produces the same program.
+func (p Profile) Generate() *program.Program {
+	g := &gen{
+		p:  p,
+		r:  rand.New(rand.NewSource(int64(p.Seed*0x9e3779b9 + 1))),
+		b:  program.NewBuilder(p.Seed, p.Seed^0x5eed),
+		wi: 1,
+	}
+	return g.run()
+}
+
+type gen struct {
+	p  Profile
+	r  *rand.Rand
+	b  *program.Builder
+	wi int // round-robin destination index
+
+	labels   int
+	recent   []isa.Reg // recently produced GPR data values
+	recfp    []isa.Reg // recently produced FPR data values
+	lastLoad isa.Reg   // most recent load destination (GPR)
+	fpi      int       // round-robin FP destination index
+}
+
+func (g *gen) newLabel(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s_%d", prefix, g.labels)
+}
+
+// dataReg returns the next destination register in the rotating window.
+func (g *gen) dataReg() isa.Reg {
+	w := g.p.RegWindow
+	if w < 2 {
+		w = 2
+	}
+	if w > 12 {
+		w = 12
+	}
+	r := isa.Reg(g.wi % w)
+	g.wi++
+	return r
+}
+
+func (g *gen) fpReg() isa.Reg {
+	w := g.p.RegWindow
+	if w < 2 {
+		w = 2
+	}
+	if w > 16 {
+		w = 16
+	}
+	r := isa.F0 + isa.Reg(g.fpi%w)
+	g.fpi++
+	return r
+}
+
+// src picks a source register. Most picks are uniform over the data window
+// (wide, parallel dependence DAGs — the ILP a deep out-of-order window
+// exploits); a fraction are biased to the most recent results, forming the
+// serial chains that set the critical path. Higher FanOut deepens the
+// recent window, raising consumers per value.
+func (g *gen) src() isa.Reg {
+	if len(g.recent) > 0 && g.r.Float64() < 0.35 {
+		k := len(g.recent)
+		depth := 2
+		if g.p.FanOut > 1.6 {
+			depth = 4
+		}
+		if depth > k {
+			depth = k
+		}
+		return g.recent[k-1-g.r.Intn(depth)]
+	}
+	w := g.p.RegWindow
+	if w < 2 {
+		w = 2
+	}
+	if w > 12 {
+		w = 12
+	}
+	return isa.Reg(g.r.Intn(w))
+}
+
+func (g *gen) srcFP() isa.Reg {
+	if len(g.recfp) == 0 {
+		return isa.F0 + isa.Reg(g.r.Intn(4))
+	}
+	k := len(g.recfp)
+	depth := 3
+	if depth > k {
+		depth = k
+	}
+	return g.recfp[k-1-g.r.Intn(depth)]
+}
+
+func (g *gen) produced(r isa.Reg) {
+	if r.Class() == isa.ClassFPR {
+		g.recfp = append(g.recfp, r)
+		if len(g.recfp) > 8 {
+			g.recfp = g.recfp[1:]
+		}
+		return
+	}
+	g.recent = append(g.recent, r)
+	if len(g.recent) > 8 {
+		g.recent = g.recent[1:]
+	}
+}
+
+func (g *gen) run() *program.Program {
+	b := g.b
+	// One-time setup: induction and chase registers.
+	b.ALU(regStride, isa.RegInvalid, isa.RegInvalid, 0)
+	b.ALU(regChase, isa.RegInvalid, isa.RegInvalid, 0)
+	b.Label("top")
+	funcNames := make([]string, g.p.Funcs)
+	for i := range funcNames {
+		funcNames[i] = fmt.Sprintf("fn_%d", i)
+	}
+	for l := 0; l < g.p.Loops; l++ {
+		g.emitLoop(l, funcNames)
+	}
+	b.Jump("top")
+	for _, fn := range funcNames {
+		g.emitFunc(fn)
+	}
+	return b.MustBuild()
+}
+
+func (g *gen) emitLoop(idx int, funcs []string) {
+	b := g.b
+	trip := int64(2 + g.r.Intn(2*g.p.TripCount+1))
+	loop := g.newLabel("loop")
+	b.ALU(regCounter, isa.RegInvalid, isa.RegInvalid, trip)
+	b.Label(loop)
+	b.ALU(regStride, regStride, isa.RegInvalid, 8) // advance the stream
+
+	g.emitBody(funcs)
+
+	b.ALU(regCounter, regCounter, isa.RegInvalid, -1)
+	b.Cmp(regCounter, isa.RegInvalid, 0)
+	b.Branch(program.PredNotZero, loop)
+}
+
+// emitBody emits one loop iteration's BlockLen-instruction body following
+// the profile's instruction mix.
+func (g *gen) emitBody(funcs []string) {
+	b := g.b
+	p := g.p
+	span := p.WorkingSet
+	if span < 64 {
+		span = 64
+	}
+	sinceBranch := 0
+	for i := 0; i < p.BlockLen; i++ {
+		sinceBranch++
+		if p.BranchEvery > 0 && sinceBranch >= p.BranchEvery && i+2 < p.BlockLen {
+			g.emitSkipBranch(1 + g.r.Intn(2))
+			sinceBranch = 0
+			continue
+		}
+		x := g.r.Float64()
+		switch {
+		case x < p.LoadFrac:
+			g.emitLoad(span)
+		case x < p.LoadFrac+p.StoreFrac:
+			g.emitStore(span)
+		case x < p.LoadFrac+p.StoreFrac+p.MulFrac:
+			d := g.dataReg()
+			b.Mul(d, g.src(), g.src(), int64(g.r.Int63()))
+			g.produced(d)
+		case x < p.LoadFrac+p.StoreFrac+p.MulFrac+p.DivFrac:
+			d := g.dataReg()
+			b.Div(d, g.src(), g.src(), int64(g.r.Intn(100)))
+			g.produced(d)
+		case x < p.LoadFrac+p.StoreFrac+p.MulFrac+p.DivFrac+p.FPFrac:
+			g.emitFP()
+		case x < p.LoadFrac+p.StoreFrac+p.MulFrac+p.DivFrac+p.FPFrac+p.MoveFrac:
+			d := g.dataReg()
+			b.Move(d, g.src())
+			g.produced(d)
+		case g.r.Float64() < p.CallFrac*4 && len(funcs) > 0:
+			b.Call(regLink, funcs[g.r.Intn(len(funcs))])
+		case p.Indirect && g.r.Float64() < 0.04:
+			g.emitSwitch()
+		default:
+			g.emitALU()
+		}
+	}
+}
+
+func (g *gen) emitALU() {
+	d := g.dataReg()
+	imm := int64(g.r.Intn(1 << 12))
+	if g.r.Float64() < g.p.FlagWriteFrac {
+		in := isa.NewInst(isa.OpALU, []isa.Reg{d, isa.Flags}, []isa.Reg{g.src(), g.src()})
+		in.Imm = imm
+		g.b.Raw(in)
+	} else {
+		g.b.ALU(d, g.src(), g.src(), imm)
+	}
+	g.produced(d)
+}
+
+func (g *gen) emitLoad(span uint64) {
+	d := g.dataReg()
+	if g.p.PointerChase && g.r.Float64() < 0.2 {
+		// Serialized chain: the next address depends on the loaded
+		// value. Chases walk a hot subset of the working set (linked
+		// structures have locality even when traversal is irregular).
+		chaseSpan := span
+		if chaseSpan > 512<<10 {
+			chaseSpan = 512 << 10
+		}
+		g.b.Load(regChase, regChase, memBase, chaseSpan, 0)
+		g.b.Move(d, regChase)
+		g.produced(d)
+		g.lastLoad = d
+		return
+	}
+	if g.p.Class == "fp" && g.r.Float64() < 0.5 {
+		f := g.fpReg()
+		g.addrLoad(f, span)
+		g.produced(f)
+		return
+	}
+	g.addrLoad(d, span)
+	g.produced(d)
+	g.lastLoad = d
+}
+
+func (g *gen) addrLoad(d isa.Reg, span uint64) {
+	if g.r.Float64() < g.p.StrideFrac {
+		g.b.Load(d, regStride, memBase, span, int64(g.r.Intn(256))*8)
+		return
+	}
+	// Irregular accesses follow a 70/30 hot/cold split: most touches land
+	// in a cache-resident hot subset, the rest roam the full working set
+	// (classic locality; uniformly random over megabytes would be a
+	// pathological worst case no real program exhibits).
+	hot := span
+	if hot > 256<<10 {
+		hot = 256 << 10
+	}
+	if g.r.Float64() < 0.7 {
+		g.b.Load(d, g.src(), memBase, hot, 0)
+	} else {
+		g.b.Load(d, g.src(), memBase, span, 0)
+	}
+}
+
+func (g *gen) emitStore(span uint64) {
+	val := g.src()
+	if g.p.Class == "fp" && g.r.Float64() < 0.5 {
+		val = g.srcFP()
+	}
+	if g.r.Float64() < g.p.StrideFrac {
+		g.b.Store(regStride, val, memBase, span, int64(g.r.Intn(256))*8)
+		return
+	}
+	hot := span
+	if hot > 256<<10 {
+		hot = 256 << 10
+	}
+	if g.r.Float64() < 0.7 {
+		g.b.Store(g.src(), val, memBase, hot, 0)
+	} else {
+		g.b.Store(g.src(), val, memBase, span, 0)
+	}
+}
+
+// FP expression temporaries: compilers evaluate trees like a*b + c*d into
+// short-lived temporaries that are redefined within a handful of
+// instructions — the dominant source of atomic regions in FP code.
+const (
+	fpTmp0 = isa.F14
+	fpTmp1 = isa.F15
+)
+
+func (g *gen) emitFP() {
+	d := g.fpReg()
+	if g.r.Float64() < 0.7 {
+		// Expression-tree burst: two temporaries live only inside the
+		// burst (no branch or memory op intervenes), then the result
+		// lands in the rotating window.
+		g.b.FPMul(fpTmp0, g.srcFP(), g.srcFP(), int64(g.r.Int63()))
+		g.b.FPAdd(fpTmp1, fpTmp0, g.srcFP(), int64(g.r.Intn(1<<10)))
+		g.b.FPAdd(d, fpTmp1, fpTmp0, 0)
+		g.produced(d)
+		return
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		g.b.FPMul(d, g.srcFP(), g.srcFP(), int64(g.r.Int63()))
+	case 1:
+		g.b.Cvt(d, g.src(), 0) // feed integer values into the FP flow
+	case 2:
+		if g.p.DivFrac > 0.002 {
+			g.b.FPDiv(d, g.srcFP(), g.srcFP(), 1)
+			break
+		}
+		g.b.FPAdd(d, g.srcFP(), g.srcFP(), int64(g.r.Intn(1<<10)))
+	default:
+		g.b.FPAdd(d, g.srcFP(), g.srcFP(), int64(g.r.Intn(1<<10)))
+	}
+	g.produced(d)
+}
+
+// emitSkipBranch emits a biased data-dependent forward branch over n body
+// instructions. The branch tests the most recently produced value — as in
+// real integer code, where branches predominantly test freshly loaded or
+// freshly computed data — so branch resolution (and with it the precommit
+// pointer) is tied to the dataflow critical path even when the prediction
+// itself is easy.
+func (g *gen) emitSkipBranch(n int) {
+	join := g.newLabel("skip")
+	// Unsigned compare against a threshold places the taken probability at
+	// BranchBias for (approximately) uniform data values.
+	bias := g.p.BranchBias
+	if bias > 0.999 {
+		bias = 0.999
+	}
+	thr := int64(uint64(bias * float64(1<<63) * 2))
+	// A large share of branches test a freshly loaded value directly
+	// (null checks, bounds checks, comparison loops): while that load
+	// misses, the branch is unresolved and the precommit pointer is
+	// pinned — the window in which only ATR can release registers.
+	test := g.src()
+	if g.lastLoad.Valid() && g.r.Float64() < g.p.BranchOnLoad {
+		test = g.lastLoad
+	} else if k := len(g.recent); k > 0 {
+		test = g.recent[k-1]
+	}
+	g.b.Cmp(test, isa.RegInvalid, thr)
+	g.b.Branch(program.PredCarry, join)
+	for i := 0; i < n; i++ {
+		g.emitALU()
+	}
+	g.b.Label(join)
+}
+
+// emitSwitch emits a data-driven indirect jump over three cases.
+func (g *gen) emitSwitch() {
+	c0, c1, c2 := g.newLabel("case"), g.newLabel("case"), g.newLabel("case")
+	join := g.newLabel("swjoin")
+	g.b.JumpInd(g.src(), c0, c1, c2)
+	for _, c := range []string{c0, c1, c2} {
+		g.b.Label(c)
+		g.emitALU()
+		g.b.Jump(join)
+	}
+	g.b.Label(join)
+}
+
+// emitFunc emits one leaf function: a short computation and a return.
+func (g *gen) emitFunc(name string) {
+	g.b.Label(name)
+	n := 3 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		if g.p.Class == "fp" && g.r.Float64() < 0.5 {
+			g.emitFP()
+		} else {
+			g.emitALU()
+		}
+	}
+	g.b.Ret(regLink)
+}

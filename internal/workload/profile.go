@@ -1,0 +1,221 @@
+// Package workload generates the synthetic SPEC CPU 2017-like programs used
+// in place of the paper's proprietary traces. Each benchmark is described by
+// a Profile whose parameters control the properties the ATR mechanism is
+// sensitive to: flusher density (branches, memory ops, divides), destination
+// reuse distance (atomic region length), branch predictability, consumer
+// counts, working-set size, and memory access patterns. Programs are real
+// executable control-flow graphs over the micro-ISA — loops, calls,
+// indirect switches, data-dependent branches — generated deterministically
+// from a seed.
+package workload
+
+import "fmt"
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name  string
+	Class string // "int" or "fp"
+	Seed  uint64
+
+	// Instruction mix (fractions of body instructions; the remainder is
+	// plain ALU). Loop-control and call/return overhead is added on top.
+	LoadFrac  float64
+	StoreFrac float64
+	MulFrac   float64
+	DivFrac   float64
+	FPFrac    float64 // FP compute fraction (fp benchmarks)
+	MoveFrac  float64
+
+	// BranchEvery is the average number of body instructions between
+	// intra-block conditional branches (0 disables extra branches; loop
+	// back-edges always exist).
+	BranchEvery int
+	// BranchBias is the probability an extra branch is taken; 0.5 is
+	// unpredictable, values near 0 or 1 are highly predictable.
+	BranchBias float64
+	// BranchOnLoad is the probability a data branch tests the most recent
+	// load result directly, pinning branch resolution (and the precommit
+	// pointer) to memory latency.
+	BranchOnLoad float64
+
+	// FlagWriteFrac is the fraction of ALU instructions that also write
+	// the flags register (x86-style dual destination) — a major source of
+	// short atomic regions.
+	FlagWriteFrac float64
+
+	// RegWindow is the number of architectural data registers cycled
+	// through for destinations: smaller windows mean shorter redefine
+	// distances and more atomic regions.
+	RegWindow int
+
+	// FanOut is the average number of consumers per produced value
+	// (approximate; drives the Fig 12 consumer-count distribution).
+	FanOut float64
+
+	// Memory behaviour.
+	WorkingSet   uint64  // bytes
+	StrideFrac   float64 // fraction of memory ops that stream sequentially
+	PointerChase bool    // serialize loads into a dependent chain (mcf-like)
+
+	// Structure.
+	Loops     int // inner loops per outer iteration
+	TripCount int // average inner-loop trip count
+	BlockLen  int // average body length per loop iteration
+	Funcs     int // callable leaf functions
+	CallFrac  float64
+	Indirect  bool // include an indirect switch
+}
+
+func (p Profile) String() string { return fmt.Sprintf("%s(%s)", p.Name, p.Class) }
+
+// IntProfiles returns the ten SPEC2017int-like profiles (Table 2).
+func IntProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "perlbench", Class: "int", Seed: 500,
+			LoadFrac: 0.24, StoreFrac: 0.11, MulFrac: 0.03, DivFrac: 0.002, MoveFrac: 0.12,
+			BranchEvery: 4, BranchBias: 0.97, BranchOnLoad: 0.15, FlagWriteFrac: 0.45, RegWindow: 8, FanOut: 1.4,
+			WorkingSet: 1 << 20, StrideFrac: 0.4,
+			Loops: 6, TripCount: 12, BlockLen: 14, Funcs: 4, CallFrac: 0.08, Indirect: true,
+		},
+		{
+			Name: "gcc", Class: "int", Seed: 502,
+			LoadFrac: 0.26, StoreFrac: 0.12, MulFrac: 0.02, DivFrac: 0.001, MoveFrac: 0.14,
+			BranchEvery: 4, BranchBias: 0.96, BranchOnLoad: 0.15, FlagWriteFrac: 0.5, RegWindow: 8, FanOut: 1.3,
+			WorkingSet: 4 << 20, StrideFrac: 0.3,
+			Loops: 8, TripCount: 8, BlockLen: 12, Funcs: 5, CallFrac: 0.1, Indirect: true,
+		},
+		{
+			Name: "mcf", Class: "int", Seed: 505,
+			LoadFrac: 0.32, StoreFrac: 0.09, MulFrac: 0.02, DivFrac: 0.001, MoveFrac: 0.08,
+			BranchEvery: 5, BranchBias: 0.95, BranchOnLoad: 0.15, FlagWriteFrac: 0.45, RegWindow: 5, FanOut: 1.2,
+			WorkingSet: 24 << 20, StrideFrac: 0.1, PointerChase: true,
+			Loops: 4, TripCount: 20, BlockLen: 12, Funcs: 2, CallFrac: 0.04,
+		},
+		{
+			Name: "omnetpp", Class: "int", Seed: 520,
+			LoadFrac: 0.28, StoreFrac: 0.14, MulFrac: 0.02, DivFrac: 0.001, MoveFrac: 0.12,
+			BranchEvery: 4, BranchBias: 0.965, BranchOnLoad: 0.15, FlagWriteFrac: 0.45, RegWindow: 8, FanOut: 1.3,
+			WorkingSet: 8 << 20, StrideFrac: 0.15, PointerChase: true,
+			Loops: 6, TripCount: 10, BlockLen: 12, Funcs: 5, CallFrac: 0.12, Indirect: true,
+		},
+		{
+			Name: "xalancbmk", Class: "int", Seed: 523,
+			LoadFrac: 0.3, StoreFrac: 0.1, MulFrac: 0.02, DivFrac: 0.001, MoveFrac: 0.13,
+			BranchEvery: 4, BranchBias: 0.97, BranchOnLoad: 0.15, FlagWriteFrac: 0.5, RegWindow: 8, FanOut: 1.4,
+			WorkingSet: 2 << 20, StrideFrac: 0.35,
+			Loops: 7, TripCount: 14, BlockLen: 11, Funcs: 6, CallFrac: 0.14, Indirect: true,
+		},
+		{
+			Name: "x264", Class: "int", Seed: 525,
+			LoadFrac: 0.27, StoreFrac: 0.1, MulFrac: 0.08, DivFrac: 0.001, MoveFrac: 0.08,
+			BranchEvery: 7, BranchBias: 0.975, BranchOnLoad: 0.15, FlagWriteFrac: 0.4, RegWindow: 10, FanOut: 1.8,
+			WorkingSet: 2 << 20, StrideFrac: 0.85,
+			Loops: 5, TripCount: 32, BlockLen: 24, Funcs: 3, CallFrac: 0.05,
+		},
+		{
+			Name: "deepsjeng", Class: "int", Seed: 531,
+			LoadFrac: 0.22, StoreFrac: 0.09, MulFrac: 0.04, DivFrac: 0.002, MoveFrac: 0.1,
+			BranchEvery: 3, BranchBias: 0.94, BranchOnLoad: 0.15, FlagWriteFrac: 0.5, RegWindow: 7, FanOut: 1.3,
+			WorkingSet: 6 << 20, StrideFrac: 0.2,
+			Loops: 6, TripCount: 9, BlockLen: 10, Funcs: 4, CallFrac: 0.1,
+		},
+		{
+			Name: "leela", Class: "int", Seed: 541,
+			LoadFrac: 0.23, StoreFrac: 0.1, MulFrac: 0.05, DivFrac: 0.004, MoveFrac: 0.1,
+			BranchEvery: 4, BranchBias: 0.94, BranchOnLoad: 0.15, FlagWriteFrac: 0.45, RegWindow: 7, FanOut: 1.4,
+			WorkingSet: 1 << 20, StrideFrac: 0.3,
+			Loops: 5, TripCount: 11, BlockLen: 12, Funcs: 4, CallFrac: 0.1,
+		},
+		{
+			Name: "exchange2", Class: "int", Seed: 548,
+			LoadFrac: 0.14, StoreFrac: 0.08, MulFrac: 0.03, DivFrac: 0.001, MoveFrac: 0.09,
+			BranchEvery: 3, BranchBias: 0.97, BranchOnLoad: 0.15, FlagWriteFrac: 0.55, RegWindow: 6, FanOut: 1.2,
+			WorkingSet: 256 << 10, StrideFrac: 0.6,
+			Loops: 8, TripCount: 7, BlockLen: 9, Funcs: 3, CallFrac: 0.12,
+		},
+		{
+			Name: "xz", Class: "int", Seed: 557,
+			LoadFrac: 0.25, StoreFrac: 0.12, MulFrac: 0.04, DivFrac: 0.001, MoveFrac: 0.09,
+			BranchEvery: 4, BranchBias: 0.95, BranchOnLoad: 0.15, FlagWriteFrac: 0.45, RegWindow: 8, FanOut: 1.3,
+			WorkingSet: 16 << 20, StrideFrac: 0.5,
+			Loops: 5, TripCount: 16, BlockLen: 13, Funcs: 2, CallFrac: 0.04,
+		},
+	}
+}
+
+// FPProfiles returns the thirteen SPEC2017fp-like profiles (Table 2).
+func FPProfiles() []Profile {
+	mk := func(name string, seed uint64, mut func(*Profile)) Profile {
+		p := Profile{
+			Name: name, Class: "fp", Seed: seed,
+			LoadFrac: 0.26, StoreFrac: 0.09, MulFrac: 0.02, DivFrac: 0.001,
+			FPFrac: 0.42, MoveFrac: 0.06,
+			BranchEvery: 6, BranchBias: 0.93, BranchOnLoad: 0.6, FlagWriteFrac: 0.2,
+			RegWindow: 7, FanOut: 2.2,
+			WorkingSet: 8 << 20, StrideFrac: 0.85,
+			Loops: 4, TripCount: 48, BlockLen: 36, Funcs: 2, CallFrac: 0.02,
+		}
+		if mut != nil {
+			mut(&p)
+		}
+		return p
+	}
+	return []Profile{
+		mk("bwaves", 503, func(p *Profile) { p.WorkingSet = 48 << 20; p.TripCount = 96; p.BlockLen = 48 }),
+		mk("cactuBSSN", 507, func(p *Profile) { p.BlockLen = 56; p.RegWindow = 9; p.FanOut = 2.6 }),
+		mk("namd", 508, func(p *Profile) { p.FanOut = 3.6; p.RegWindow = 8; p.WorkingSet = 2 << 20 }),
+		mk("parest", 510, func(p *Profile) { p.BranchEvery = 7; p.BranchBias = 0.88; p.CallFrac = 0.06; p.Funcs = 4 }),
+		mk("povray", 511, func(p *Profile) {
+			p.BranchEvery = 5
+			p.BranchBias = 0.8
+			p.FPFrac = 0.3
+			p.FlagWriteFrac = 0.35
+			p.CallFrac = 0.1
+			p.Funcs = 5
+			p.BlockLen = 16
+			p.TripCount = 12
+			p.WorkingSet = 512 << 10
+		}),
+		mk("lbm", 519, func(p *Profile) { p.WorkingSet = 64 << 20; p.StrideFrac = 0.95; p.BlockLen = 52; p.TripCount = 128 }),
+		mk("wrf", 521, func(p *Profile) { p.Loops = 6; p.BlockLen = 32; p.DivFrac = 0.004 }),
+		mk("blender", 526, func(p *Profile) {
+			p.FPFrac = 0.34
+			p.BranchEvery = 6
+			p.BranchBias = 0.82
+			p.CallFrac = 0.08
+			p.Funcs = 4
+			p.BlockLen = 20
+		}),
+		mk("cam4", 527, func(p *Profile) { p.Loops = 6; p.BranchEvery = 8; p.DivFrac = 0.003 }),
+		mk("imagick", 538, func(p *Profile) { p.StrideFrac = 0.9; p.MulFrac = 0.05; p.TripCount = 64; p.WorkingSet = 1 << 20 }),
+		mk("nab", 544, func(p *Profile) { p.DivFrac = 0.006; p.FanOut = 2.0; p.WorkingSet = 1 << 20 }),
+		mk("fotonik3d", 549, func(p *Profile) { p.WorkingSet = 48 << 20; p.StrideFrac = 0.92; p.BlockLen = 44 }),
+		mk("roms", 554, func(p *Profile) { p.WorkingSet = 32 << 20; p.BlockLen = 40; p.TripCount = 80 }),
+	}
+}
+
+// Profiles returns all benchmark profiles, integer suite first.
+func Profiles() []Profile { return append(IntProfiles(), FPProfiles()...) }
+
+// ByName looks a profile up by benchmark name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Micro returns a small fast profile for tests: int-like with every feature
+// (branches, calls, indirect jumps, loads, stores, divides) enabled.
+func Micro(seed uint64) Profile {
+	return Profile{
+		Name: "micro", Class: "int", Seed: seed,
+		LoadFrac: 0.2, StoreFrac: 0.1, MulFrac: 0.05, DivFrac: 0.01, MoveFrac: 0.1,
+		BranchEvery: 5, BranchBias: 0.7, BranchOnLoad: 0.25, FlagWriteFrac: 0.4, RegWindow: 5, FanOut: 1.4,
+		WorkingSet: 64 << 10, StrideFrac: 0.5,
+		Loops: 3, TripCount: 6, BlockLen: 10, Funcs: 2, CallFrac: 0.1, Indirect: true,
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ints := IntProfiles()
+	fps := FPProfiles()
+	if len(ints) != 10 {
+		t.Errorf("int profiles = %d, want 10 (Table 2)", len(ints))
+	}
+	if len(fps) != 13 {
+		t.Errorf("fp profiles = %d, want 13 (Table 2)", len(fps))
+	}
+	seen := make(map[string]bool)
+	for _, p := range Profiles() {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Class != "int" && p.Class != "fp" {
+			t.Errorf("%s: bad class %q", p.Name, p.Class)
+		}
+		if p.RegWindow < 2 || p.RegWindow > 12 {
+			t.Errorf("%s: RegWindow %d out of range", p.Name, p.RegWindow)
+		}
+	}
+	for _, name := range []string{"mcf", "omnetpp", "lbm", "namd"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := p.Generate()
+	b := p.Generate()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Code {
+		ai, bi := a.Code[i], b.Code[i]
+		if ai.Op != bi.Op || ai.Imm != bi.Imm || ai.Target != bi.Target ||
+			ai.Dsts != bi.Dsts || ai.Srcs != bi.Srcs {
+			t.Fatalf("instruction %d differs: %v vs %v", i, ai, bi)
+		}
+	}
+}
+
+func TestGeneratedProgramsRun(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := p.Generate()
+			if prog.Len() < 20 {
+				t.Fatalf("program too small: %d", prog.Len())
+			}
+			e := program.NewEmulator(prog)
+			recs := e.Run(20000)
+			if len(recs) != 20000 {
+				t.Fatalf("program halted after %d instructions; must loop forever", len(recs))
+			}
+			// All targets in range.
+			for _, r := range recs {
+				if !prog.ValidPC(r.NextPC) {
+					t.Fatalf("pc %d jumps to invalid %d", r.PC, r.NextPC)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratedMixMatchesProfile(t *testing.T) {
+	p, _ := ByName("mcf")
+	prog := p.Generate()
+	e := program.NewEmulator(prog)
+	recs := e.Run(50000)
+	counts := make(map[isa.Op]int)
+	for _, r := range recs {
+		counts[r.Op]++
+	}
+	total := float64(len(recs))
+	loadFrac := float64(counts[isa.OpLoad]) / total
+	if loadFrac < 0.15 || loadFrac > 0.45 {
+		t.Errorf("mcf load fraction = %.2f, want memory-bound (0.15..0.45)", loadFrac)
+	}
+	brFrac := float64(counts[isa.OpBranch]) / total
+	if brFrac < 0.03 || brFrac > 0.35 {
+		t.Errorf("branch fraction = %.2f out of plausible range", brFrac)
+	}
+	if counts[isa.OpRet] == 0 && p.Funcs > 0 && p.CallFrac > 0 {
+		t.Error("no returns executed despite call profile")
+	}
+}
+
+func TestFPProfilesExecuteFPOps(t *testing.T) {
+	p, _ := ByName("lbm")
+	prog := p.Generate()
+	e := program.NewEmulator(prog)
+	recs := e.Run(30000)
+	fp := 0
+	for _, r := range recs {
+		if r.Op.IsFP() {
+			fp++
+		}
+	}
+	if frac := float64(fp) / float64(len(recs)); frac < 0.2 {
+		t.Errorf("lbm FP fraction = %.2f, want >= 0.2", frac)
+	}
+}
+
+func TestBranchBiasControlsOutcomes(t *testing.T) {
+	// Two micro variants with opposite bias must show different taken
+	// rates on their skip branches.
+	lo := Micro(1)
+	lo.BranchBias = 0.1
+	hi := Micro(1)
+	hi.BranchBias = 0.9
+	rate := func(p Profile) float64 {
+		prog := p.Generate()
+		e := program.NewEmulator(prog)
+		taken, total := 0, 0
+		for i := 0; i < 40000; i++ {
+			r, ok := e.Step()
+			if !ok {
+				break
+			}
+			// Skip branches are forward (target > pc); loop
+			// back-edges are backward.
+			if r.Op == isa.OpBranch && r.NextPC > r.PC+1 || (r.Op == isa.OpBranch && !r.Taken) {
+				if r.Op == isa.OpBranch && prog.At(r.PC).Target > r.PC {
+					total++
+					if r.Taken {
+						taken++
+					}
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatal("no forward branches executed")
+		}
+		return float64(taken) / float64(total)
+	}
+	rl, rh := rate(lo), rate(hi)
+	if rl >= rh {
+		t.Errorf("bias control inverted: low=%.2f high=%.2f", rl, rh)
+	}
+	if rl > 0.4 || rh < 0.6 {
+		t.Errorf("bias control weak: low=%.2f high=%.2f", rl, rh)
+	}
+}
+
+func TestPointerChaseSerializesLoads(t *testing.T) {
+	p, _ := ByName("mcf")
+	prog := p.Generate()
+	// Find a load whose source is the chase register and whose dest is
+	// the chase register.
+	found := false
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if in.Op == isa.OpLoad && in.Srcs[0] == regChase && in.Dsts[0] == regChase {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("mcf profile generated no pointer-chase loads")
+	}
+}
+
+func TestWorkingSetRespected(t *testing.T) {
+	p := Micro(7)
+	p.WorkingSet = 4096
+	prog := p.Generate()
+	e := program.NewEmulator(prog)
+	for i := 0; i < 30000; i++ {
+		r, ok := e.Step()
+		if !ok {
+			break
+		}
+		if (r.Op == isa.OpLoad || r.Op == isa.OpStore) && (r.EA < memBase || r.EA >= memBase+p.WorkingSet+2048) {
+			t.Fatalf("EA %#x outside working set", r.EA)
+		}
+	}
+}
