@@ -8,7 +8,9 @@ package atr
 
 import (
 	"io"
+	"os"
 	"testing"
+	"time"
 
 	"atr/internal/bpred"
 	"atr/internal/cache"
@@ -17,6 +19,7 @@ import (
 	"atr/internal/experiments"
 	"atr/internal/isa"
 	"atr/internal/logicsim"
+	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/program"
 	"atr/internal/workload"
@@ -211,4 +214,50 @@ func BenchmarkBulkMarkBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		logicsim.BuildBulkMark(8, 16)
 	}
+}
+
+// TestEmitBenchManifest writes BENCH_sim.json — a run manifest recording
+// simulator throughput on the reference workload — when ATR_BENCH_JSON=1
+// is set (e.g. by CI), so benchmark results become diffable artifacts.
+func TestEmitBenchManifest(t *testing.T) {
+	if os.Getenv("ATR_BENCH_JSON") == "" {
+		t.Skip("set ATR_BENCH_JSON=1 to emit BENCH_sim.json")
+	}
+	p, _ := workload.ByName("exchange2")
+	cfg := config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(64)
+	cpu := pipeline.New(cfg, p.Generate())
+	sampler := obs.NewSampler(1000)
+	cpu.Observe(&obs.Observer{Sampler: sampler})
+	start := time.Now()
+	res := cpu.Run(20_000)
+	elapsed := time.Since(start)
+
+	m := obs.NewManifest()
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	m.Benchmark = obs.BenchmarkInfo{Name: p.Name, Class: p.Class, Seed: p.Seed}
+	m.Config = cfg
+	m.Result = obs.RunResult{
+		Cycles: res.Cycles, Committed: res.Committed, IPC: res.IPC,
+		Mispredicts: res.Mispredicts, Flushes: res.Flushes,
+		RenameStalls: res.RenameStalls, BranchAccuracy: res.BranchAccuracy,
+		IndirectAccuracy: res.IndirectAccuracy, L1DHitRate: res.L1DHitRate,
+		AvgRegsLive: res.AvgRegsLive, Halted: res.Halted,
+	}
+	m.Perf = obs.PerfInfo{
+		WallSeconds: elapsed.Seconds(),
+		InstrPerSec: float64(res.Committed) / elapsed.Seconds(),
+	}
+	m.Samples = sampler.Samples()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create("BENCH_sim.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_sim.json: %.0f instr/s, IPC %.3f", m.Perf.InstrPerSec, res.IPC)
 }

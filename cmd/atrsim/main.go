@@ -1,20 +1,26 @@
 // Command atrsim runs a single simulation of one benchmark profile under a
 // chosen release scheme and prints the run summary, release accounting, and
-// register lifetime statistics.
+// register lifetime statistics. With the observability flags it also emits
+// a per-uop pipeline event trace (JSONL and/or Konata-loadable O3PipeView),
+// an interval time series, and a machine-readable run manifest.
 //
 // Usage:
 //
 //	atrsim [-bench name] [-scheme baseline|nonspec-er|atomic|combined]
 //	       [-regs N] [-n instructions] [-delay N] [-walk] [-v]
+//	       [-trace out.jsonl] [-o3view out.o3] [-json run.json]
+//	       [-sample N] [-samples out.csv|out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"atr/internal/config"
+	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/workload"
 )
@@ -28,6 +34,11 @@ func main() {
 	walk := flag.Bool("walk", false, "use walk-based SRT recovery instead of checkpoints")
 	list := flag.Bool("list", false, "list benchmark profiles and exit")
 	verbose := flag.Bool("v", false, "print internal release counters")
+	tracePath := flag.String("trace", "", "write a JSONL pipeline event trace to this file")
+	o3Path := flag.String("o3view", "", "write a gem5 O3PipeView trace (Konata-loadable) to this file")
+	jsonPath := flag.String("json", "", "write a machine-readable run manifest to this file")
+	sample := flag.Uint64("sample", 0, "interval sampler period in cycles (0 disables)")
+	samplesPath := flag.String("samples", "", "write the interval time series to this file (.csv or .json)")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +46,10 @@ func main() {
 			fmt.Printf("%-12s %s\n", p.Name, p.Class)
 		}
 		return
+	}
+	if *n == 0 {
+		fmt.Fprintln(os.Stderr, "atrsim: -n must be positive (0 would simulate nothing)")
+		os.Exit(2)
 	}
 	p, ok := workload.ByName(*bench)
 	if !ok {
@@ -53,12 +68,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atrsim:", err)
 		os.Exit(2)
 	}
+	if *samplesPath != "" && *sample == 0 {
+		*sample = 1000 // -samples implies sampling at a default period
+	}
+
+	var observer obs.Observer
+	var closers []func() error
+	if *tracePath != "" || *o3Path != "" {
+		var jsonlW, o3W *os.File
+		if *tracePath != "" {
+			jsonlW = mustCreate(*tracePath)
+			closers = append(closers, jsonlW.Close)
+		}
+		if *o3Path != "" {
+			o3W = mustCreate(*o3Path)
+			closers = append(closers, o3W.Close)
+		}
+		// *os.File nil-interface footgun: pass through an io.Writer-typed
+		// nil only when the file was actually opened.
+		switch {
+		case jsonlW != nil && o3W != nil:
+			observer.Tracer = obs.NewTracer(jsonlW, o3W)
+		case jsonlW != nil:
+			observer.Tracer = obs.NewTracer(jsonlW, nil)
+		default:
+			observer.Tracer = obs.NewTracer(nil, o3W)
+		}
+	}
+	if *sample > 0 {
+		observer.Sampler = obs.NewSampler(*sample)
+	}
 
 	prog := p.Generate()
 	cpu := pipeline.New(cfg, prog)
+	if observer.Enabled() {
+		cpu.Observe(&observer)
+	}
 	start := time.Now()
 	res := cpu.Run(*n)
 	elapsed := time.Since(start)
+
+	if observer.Tracer != nil {
+		if err := observer.Tracer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsim: trace:", err)
+			os.Exit(1)
+		}
+	}
+	for _, c := range closers {
+		if err := c(); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsim: trace:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Gate on model invariants before reporting anything as a success.
+	if err := cpu.Engine.CheckInvariants(); err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim: INVARIANT VIOLATION:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("benchmark      %s (%s), %d static instructions\n", p.Name, p.Class, prog.Len())
 	fmt.Printf("scheme         %v, %d physical registers/class, redefine delay %d\n",
@@ -93,8 +160,93 @@ func main() {
 	fmt.Printf("simulated at   %.0fk instructions/second\n",
 		float64(res.Committed)/elapsed.Seconds()/1000)
 
-	if err := cpu.Engine.CheckInvariants(); err != nil {
-		fmt.Fprintln(os.Stderr, "atrsim: INVARIANT VIOLATION:", err)
+	if observer.Sampler != nil && *samplesPath != "" {
+		writeSamples(observer.Sampler, *samplesPath)
+	}
+	if *jsonPath != "" {
+		writeManifest(*jsonPath, p, prog.Len(), cfg, cpu, res, elapsed, &observer, *tracePath, *o3Path)
+	}
+}
+
+func mustCreate(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim:", err)
+		os.Exit(1)
+	}
+	return f
+}
+
+func writeSamples(s *obs.Sampler, path string) {
+	f := mustCreate(path)
+	defer f.Close()
+	var err error
+	if strings.HasSuffix(path, ".json") {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WriteCSV(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim: samples:", err)
+		os.Exit(1)
+	}
+}
+
+func writeManifest(path string, p workload.Profile, static int, cfg config.Config,
+	cpu *pipeline.CPU, res pipeline.Result, elapsed time.Duration,
+	observer *obs.Observer, tracePath, o3Path string) {
+	m := obs.NewManifest()
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	m.Benchmark = obs.BenchmarkInfo{Name: p.Name, Class: p.Class, Seed: p.Seed, StaticInstrs: static}
+	m.Config = cfg
+	m.Result = obs.RunResult{
+		Cycles: res.Cycles, Committed: res.Committed, IPC: res.IPC,
+		Mispredicts: res.Mispredicts, Flushes: res.Flushes,
+		Exceptions: res.Exceptions, Interrupts: res.Interrupts,
+		RenameStalls: res.RenameStalls, BranchAccuracy: res.BranchAccuracy,
+		IndirectAccuracy: res.IndirectAccuracy, L1DHitRate: res.L1DHitRate,
+		AvgRegsLive: res.AvgRegsLive, Halted: res.Halted,
+	}
+	led := cpu.Engine.Ledger
+	iu, un, vu := led.StateFractions()
+	nb, ne, at := led.RegionFractions()
+	gr, gc, gm := led.EventGaps()
+	m.Ledger = obs.LedgerSummary{
+		Completed: led.Completed(),
+		InUse:     iu, Unused: un, VerifiedUnused: vu,
+		NonBranch: nb, NonExcept: ne, Atomic: at,
+		GapRedefine: gr, GapConsume: gc, GapCommit: gm,
+		ConsumerMean: led.ConsumerHist.Mean(),
+	}
+	m.Counters = make(map[string]uint64)
+	for _, name := range cpu.Engine.Stats.Names() {
+		m.Counters[name] = cpu.Engine.Stats.Get(name)
+	}
+	for _, name := range cpu.Stats.Names() {
+		m.Counters[name] = cpu.Stats.Get(name)
+	}
+	m.Perf = obs.PerfInfo{
+		WallSeconds: elapsed.Seconds(),
+		InstrPerSec: float64(res.Committed) / elapsed.Seconds(),
+	}
+	if observer.Sampler != nil {
+		m.Samples = observer.Sampler.Samples()
+	}
+	if observer.Tracer != nil {
+		uops, commits, releases := observer.Tracer.Counts()
+		m.Trace = &obs.TraceInfo{
+			JSONLPath: tracePath, O3Path: o3Path,
+			Uops: uops, Commits: commits, Releases: releases,
+		}
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim: manifest:", err)
+		os.Exit(1)
+	}
+	f := mustCreate(path)
+	defer f.Close()
+	if err := m.Encode(f); err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim: manifest:", err)
 		os.Exit(1)
 	}
 }

@@ -3,53 +3,108 @@
 // Usage:
 //
 //	atrsweep [-n instructions] [-fig 1|4|6|10|11|12|13|14|15|logic|all]
+//	         [-json results.json] [-sample N]
+//
+// With -json the typed results of every figure run are serialized to a
+// versioned sweep manifest, so sweeps become diffable artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"atr/internal/experiments"
+	"atr/internal/obs"
+)
+
+// sweepManifest is the machine-readable record of one atrsweep invocation.
+type sweepManifest struct {
+	Schema  string         `json:"schema"`
+	Version int            `json:"version"`
+	Build   obs.BuildInfo  `json:"build"`
+	Instr   uint64         `json:"instr"`
+	Figures map[string]any `json:"figures"`
+}
+
+const (
+	sweepSchema  = "atr-sweep-manifest"
+	sweepVersion = 1
 )
 
 func main() {
 	n := flag.Uint64("n", 40000, "instructions per simulation")
 	fig := flag.String("fig", "all", "figure to regenerate (1,4,6,10,11,12,13,14,15,logic,ablations,all)")
+	jsonPath := flag.String("json", "", "write figure results to this file as a sweep manifest")
+	sample := flag.Uint64("sample", 0, "attach an interval sampler with this period to every run (0 disables)")
 	flag.Parse()
 
 	r := experiments.NewRunner(*n)
+	r.SampleInterval = *sample
 	w := os.Stdout
+	figures := make(map[string]any)
 	start := time.Now()
 	switch *fig {
 	case "1":
-		experiments.Fig1(r, w)
+		figures["fig1"] = experiments.Fig1(r, w)
 	case "4":
-		experiments.Fig4(r, w)
+		figures["fig4"] = experiments.Fig4(r, w)
 	case "6":
-		experiments.Fig6(r, w)
+		figures["fig6"] = experiments.Fig6(r, w)
 	case "10":
-		experiments.Fig10(r, w)
+		figures["fig10"] = experiments.Fig10(r, w)
 	case "11":
-		experiments.Fig11(r, w)
+		figures["fig11"] = experiments.Fig11(r, w)
 	case "12":
-		experiments.Fig12(r, w)
+		figures["fig12"] = experiments.Fig12(r, w)
 	case "13":
-		experiments.Fig13(r, w)
+		figures["fig13"] = experiments.Fig13(r, w)
 	case "14":
-		experiments.Fig14(r, w)
+		figures["fig14"] = experiments.Fig14(r, w)
 	case "15":
-		experiments.Fig15(r, w)
+		figures["fig15"] = experiments.Fig15(r, w)
 	case "logic":
-		experiments.Logic(w)
+		figures["logic"] = experiments.Logic(w)
 	case "ablations":
 		experiments.Ablations(r, w)
 	case "all":
-		experiments.All(r, w)
+		figures["fig1"] = experiments.Fig1(r, w)
+		figures["fig4"] = experiments.Fig4(r, w)
+		figures["fig6"] = experiments.Fig6(r, w)
+		figures["fig10"] = experiments.Fig10(r, w)
+		figures["fig11"] = experiments.Fig11(r, w)
+		figures["fig12"] = experiments.Fig12(r, w)
+		figures["fig13"] = experiments.Fig13(r, w)
+		figures["fig14"] = experiments.Fig14(r, w)
+		figures["fig15"] = experiments.Fig15(r, w)
+		figures["logic"] = experiments.Logic(w)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start))
+
+	if *jsonPath != "" {
+		m := sweepManifest{
+			Schema:  sweepSchema,
+			Version: sweepVersion,
+			Build:   obs.Build(),
+			Instr:   *n,
+			Figures: figures,
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atrsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsweep:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -4,11 +4,12 @@
 // Usage:
 //
 //	atrtrace record -bench omnetpp -n 100000 -o omnetpp.atrt
-//	atrtrace info -i omnetpp.atrt
-//	atrtrace regions -bench omnetpp -i omnetpp.atrt
+//	atrtrace info -i omnetpp.atrt [-json]
+//	atrtrace regions -bench omnetpp -i omnetpp.atrt [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,17 +31,26 @@ func main() {
 	n := fs.Int("n", 100_000, "instructions")
 	out := fs.String("o", "", "output trace file")
 	in := fs.String("i", "", "input trace file")
+	asJSON := fs.Bool("json", false, "print machine-readable JSON instead of text")
 	fs.Parse(os.Args[2:])
 
 	switch cmd {
 	case "record":
 		record(*bench, *n, *out)
 	case "info":
-		info(*in)
+		info(*in, *asJSON)
 	case "regions":
-		regions(*bench, *in, *n)
+		regions(*bench, *in, *n, *asJSON)
 	default:
 		usage()
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		die(err)
 	}
 }
 
@@ -93,7 +103,7 @@ func record(bench string, n int, out string) {
 	fmt.Printf("wrote %d records to %s\n", w.Count(), out)
 }
 
-func info(in string) {
+func info(in string, asJSON bool) {
 	if in == "" {
 		die(fmt.Errorf("info needs -i"))
 	}
@@ -128,13 +138,20 @@ func info(in string) {
 			}
 		}
 	}
+	if asJSON {
+		emitJSON(map[string]uint64{
+			"records": total, "loads": loads, "stores": stores,
+			"control": branches, "taken": taken,
+		})
+		return
+	}
 	fmt.Printf("records   %d\n", total)
 	fmt.Printf("loads     %d (%.1f%%)\n", loads, pct(loads, total))
 	fmt.Printf("stores    %d (%.1f%%)\n", stores, pct(stores, total))
 	fmt.Printf("control   %d (%.1f%%), %.1f%% taken\n", branches, pct(branches, total), pct(taken, branches))
 }
 
-func regions(bench, in string, n int) {
+func regions(bench, in string, n int, asJSON bool) {
 	p := mustProfile(bench)
 	prog := p.Generate()
 	a := trace.NewAnalyzer(prog, isa.ClassGPR)
@@ -169,6 +186,16 @@ func regions(bench, in string, n int) {
 		}
 	}
 	res := a.Result()
+	if asJSON {
+		emitJSON(map[string]any{
+			"allocations": res.Allocations,
+			"non_branch":  res.NonBranch,
+			"non_except":  res.NonExcept,
+			"atomic":      res.Atomic,
+			"consumers":   res.Consumers.Mean(),
+		})
+		return
+	}
 	fmt.Printf("allocations %d\n", res.Allocations)
 	fmt.Printf("non-branch  %.1f%%\n", 100*res.NonBranch)
 	fmt.Printf("non-except  %.1f%%\n", 100*res.NonExcept)

@@ -1,0 +1,185 @@
+// Command atrview summarizes observability artifacts without leaving the
+// terminal: per-stage latency histograms and top stall reasons from a JSONL
+// pipeline event trace, and validation plus a one-screen digest of a run
+// manifest.
+//
+// Usage:
+//
+//	atrview -trace out.jsonl
+//	atrview -manifest run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"atr/internal/obs"
+	"atr/internal/stats"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "summarize a JSONL pipeline event trace")
+	manifestPath := flag.String("manifest", "", "validate and summarize a run manifest")
+	flag.Parse()
+
+	if *tracePath == "" && *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: atrview -trace out.jsonl | -manifest run.json")
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		summarizeTrace(*tracePath)
+	}
+	if *manifestPath != "" {
+		summarizeManifest(*manifestPath)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "atrview:", err)
+	os.Exit(1)
+}
+
+// stageGap names one per-uop latency component of the pipeline walk.
+type stageGap struct {
+	name string
+	hist *stats.Histogram
+}
+
+const histMax = 2048 // cycles; longer gaps land in the overflow bucket
+
+func summarizeTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+
+	gaps := []*stageGap{
+		{name: "fetch->rename", hist: stats.NewHistogram(histMax)},
+		{name: "rename->issue", hist: stats.NewHistogram(histMax)},
+		{name: "issue->complete", hist: stats.NewHistogram(histMax)},
+		{name: "complete->commit", hist: stats.NewHistogram(histMax)},
+	}
+	var committed, squashed uint64
+	stalls := make(map[string]uint64) // dominant gap per committed uop
+	byScheme := make(map[string]uint64)
+	byRegion := make(map[string]uint64)
+	var releases uint64
+
+	err = obs.ReadTrace(f,
+		func(ev obs.UopEvent) {
+			if ev.Squashed {
+				squashed++
+				return
+			}
+			committed++
+			deltas := [4]uint64{
+				ev.Rename - ev.Fetch,
+				ev.Issue - ev.Rename,
+				ev.Complete - ev.Issue,
+				ev.Commit - ev.Complete,
+			}
+			dominant, worst := 0, uint64(0)
+			for i, d := range deltas {
+				gaps[i].hist.Add(int(d))
+				if d > worst {
+					dominant, worst = i, d
+				}
+			}
+			stalls[gaps[dominant].name]++
+		},
+		func(ev obs.ReleaseEvent) {
+			releases++
+			byScheme[ev.Scheme]++
+			byRegion[ev.Region]++
+		})
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("trace          %s\n", path)
+	fmt.Printf("uops           %d committed, %d squashed (%.1f%% wrong-path)\n",
+		committed, squashed, pct(squashed, committed+squashed))
+	fmt.Printf("\nstage latencies (cycles):\n")
+	fmt.Printf("%-18s %10s %8s %6s %6s %6s %8s\n", "stage", "count", "mean", "p50", "p90", "p99", "max-seen")
+	for _, g := range gaps {
+		h := g.hist
+		fmt.Printf("%-18s %10d %8.1f %6d %6d %6d %8d\n",
+			g.name, h.Count(), h.Mean(), h.Percentile(0.5), h.Percentile(0.9),
+			h.Percentile(0.99), h.Percentile(1))
+	}
+	fmt.Printf("\ntop stall reasons (dominant per-uop gap):\n")
+	for _, kv := range sortedDesc(stalls) {
+		fmt.Printf("  %-18s %10d uops (%.1f%%)\n", kv.k, kv.v, pct(kv.v, committed))
+	}
+	if releases > 0 {
+		fmt.Printf("\nregister releases: %d\n", releases)
+		fmt.Printf("  by scheme:")
+		for _, kv := range sortedDesc(byScheme) {
+			fmt.Printf("  %s %d", kv.k, kv.v)
+		}
+		fmt.Printf("\n  by region:")
+		for _, kv := range sortedDesc(byRegion) {
+			fmt.Printf("  %s %d", kv.k, kv.v)
+		}
+		fmt.Println()
+	}
+}
+
+func summarizeManifest(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	m, err := obs.DecodeManifest(f)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("manifest       %s (schema %s v%d, valid)\n", path, m.Schema, m.Version)
+	fmt.Printf("build          %s %s\n", m.Build.GoVersion, m.Build.Revision)
+	fmt.Printf("benchmark      %s (%s), seed %d\n", m.Benchmark.Name, m.Benchmark.Class, m.Benchmark.Seed)
+	fmt.Printf("machine        scheme %v, %d regs/class, ROB %d\n",
+		m.Config.Scheme, m.Config.PhysRegs, m.Config.ROBSize)
+	fmt.Printf("result         %d instructions, %d cycles, IPC %.3f\n",
+		m.Result.Committed, m.Result.Cycles, m.Result.IPC)
+	fmt.Printf("lifecycle      in-use %.1f%%, unused %.1f%%, verified-unused %.1f%%\n",
+		100*m.Ledger.InUse, 100*m.Ledger.Unused, 100*m.Ledger.VerifiedUnused)
+	fmt.Printf("atomic ratio   %.1f%%\n", 100*m.Ledger.Atomic)
+	fmt.Printf("perf           %.2fs wall, %.0f instr/s\n", m.Perf.WallSeconds, m.Perf.InstrPerSec)
+	if len(m.Samples) > 0 {
+		fmt.Printf("samples        %d intervals\n", len(m.Samples))
+	}
+	if m.Trace != nil {
+		fmt.Printf("trace          %d uops (%d committed), %d releases\n",
+			m.Trace.Uops, m.Trace.Commits, m.Trace.Releases)
+	}
+}
+
+type kv struct {
+	k string
+	v uint64
+}
+
+func sortedDesc(m map[string]uint64) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].k < out[j].k
+	})
+	return out
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

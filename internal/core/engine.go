@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"atr/internal/config"
 	"atr/internal/isa"
+	"atr/internal/obs"
 	"atr/internal/stats"
 )
 
@@ -57,6 +59,10 @@ type preg struct {
 	// the late write would corrupt a re-allocation. (This matters for
 	// zero-consumer registers, whose counter is 0 from the start.)
 	writePending bool
+
+	// region is the classification assigned when this allocation was
+	// redefined (observability only; release events report it).
+	region stats.RegionKind
 }
 
 // bank is one register class's renaming state: SRT, physical registers, and
@@ -89,6 +95,7 @@ func (b *bank) alloc() (PTag, uint32) {
 	p.allocCommitted = false
 	p.allocPrecommitted = false
 	p.writePending = true
+	p.region = stats.RegionNone
 	return t, p.gen
 }
 
@@ -141,6 +148,10 @@ type Engine struct {
 	claims        map[mapping]claimState
 	earlyReleased map[mapping]bool
 	delayQ        []delayedRedefine
+
+	// trace, when non-nil, receives one ReleaseEvent per register release.
+	// The hot path pays only this pointer compare when tracing is off.
+	trace *obs.Tracer
 
 	// openRegions counts claimed regions whose allocator has committed but
 	// whose redefiner has not (the paper's §4.1 counter).
@@ -200,6 +211,9 @@ func NewEngine(cfg config.Config) *Engine {
 	}
 	return e
 }
+
+// SetTracer attaches (or with nil detaches) a release-event tracer.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.trace = t }
 
 // PhysRegsPerClass returns the size of each physical register file.
 func (e *Engine) PhysRegsPerClass() int { return len(e.banks[0].pregs) }
@@ -300,9 +314,10 @@ func (e *Engine) renameDst(r isa.Reg, cycle uint64) DstAlloc {
 
 	// Redefinition of prev: record the event and classify the region.
 	pp := &b.pregs[prevTag]
+	pp.region = classify(pp.sawBranch, pp.sawExcept)
 	if life := e.life(prev); life != nil {
 		life.Redefined = cycle
-		life.Region = classify(pp.sawBranch, pp.sawExcept)
+		life.Region = pp.region
 	}
 
 	e.maybeClaim(&d, prev, pp, cycle)
@@ -360,9 +375,10 @@ func (e *Engine) renameMove(r isa.Reg, src Alloc, cycle uint64) DstAlloc {
 	d := DstAlloc{Reg: r, New: src, Prev: prev, PrevValid: true, Eliminated: true}
 
 	pp := &b.pregs[prevTag]
+	pp.region = classify(pp.sawBranch, pp.sawExcept)
 	if life := e.life(prev); life != nil {
 		life.Redefined = cycle
-		life.Region = classify(pp.sawBranch, pp.sawExcept)
+		life.Region = pp.region
 	}
 	e.maybeClaim(&d, prev, pp, cycle)
 	return d
@@ -508,7 +524,7 @@ func (e *Engine) tryATRRelease(a Alloc, cycle uint64) {
 		return
 	}
 	e.earlyReleased[mapping{a, p.claimArch}] = true
-	e.release(a, "release.atr")
+	e.release(a, "release.atr", cycle)
 }
 
 // tryERRelease frees an unclaimed register once its redefiner has
@@ -523,7 +539,7 @@ func (e *Engine) tryERRelease(a Alloc, cycle uint64) {
 		return
 	}
 	e.earlyReleased[mapping{a, p.erArch}] = true
-	e.release(a, "release.er")
+	e.release(a, "release.er", cycle)
 }
 
 // RedefinerPrecommitted notifies that the instruction whose rename produced
@@ -598,7 +614,7 @@ func (e *Engine) RedefinerCommitted(d DstAlloc, cycle uint64) {
 		b := &e.banks[d.Prev.Class]
 		p := &b.pregs[d.Prev.Tag]
 		if p.gen == d.Prev.Gen && !p.free {
-			e.release(d.Prev, "release.atr")
+			e.release(d.Prev, "release.atr", cycle)
 		}
 		return
 	}
@@ -609,7 +625,7 @@ func (e *Engine) RedefinerCommitted(d DstAlloc, cycle uint64) {
 	b := &e.banks[d.Prev.Class]
 	p := &b.pregs[d.Prev.Tag]
 	if p.gen == d.Prev.Gen && !p.free {
-		e.release(d.Prev, "release.commit")
+		e.release(d.Prev, "release.commit", cycle)
 	}
 }
 
@@ -705,7 +721,7 @@ func (e *Engine) FlushInstr(out *RenameOut, cycle uint64) {
 		b := &e.banks[d.New.Class]
 		p := &b.pregs[d.New.Tag]
 		if p.gen == d.New.Gen && !p.free {
-			e.release(d.New, "release.flush")
+			e.release(d.New, "release.flush", cycle)
 		}
 	}
 }
@@ -753,7 +769,7 @@ func (e *Engine) RestoreCheckpoint(cp *Checkpoint) {
 // when the last reference goes (move elimination shares registers across
 // mappings, each released independently — the paper's "decrement instead of
 // release" extension).
-func (e *Engine) release(a Alloc, counter string) {
+func (e *Engine) release(a Alloc, counter string, cycle uint64) {
 	b := &e.banks[a.Class]
 	p := &b.pregs[a.Tag]
 	if p.free || p.refs <= 0 {
@@ -764,6 +780,15 @@ func (e *Engine) release(a Alloc, counter string) {
 	p.redefined = false
 	p.redefPre = false
 	e.Stats.Inc(counter, 1)
+	if e.trace != nil {
+		e.trace.Release(obs.ReleaseEvent{
+			Cycle:  cycle,
+			Scheme: strings.TrimPrefix(counter, "release."),
+			Region: p.region.String(),
+			Class:  int(a.Class),
+			Tag:    int(a.Tag),
+		})
+	}
 	if p.refs > 0 {
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"atr/internal/config"
+	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/power"
 	"atr/internal/workload"
@@ -36,6 +37,10 @@ type RunStats struct {
 
 	Activity power.Activity
 	Power    power.Power
+
+	// Samples is the interval time series, populated when the runner's
+	// SampleInterval is non-zero.
+	Samples []obs.Sample
 }
 
 // Runner executes simulations in parallel with memoization: experiments
@@ -43,6 +48,11 @@ type RunStats struct {
 type Runner struct {
 	// Instr is the per-run instruction budget.
 	Instr uint64
+
+	// SampleInterval, when non-zero, attaches an interval sampler (one per
+	// simulation, so parallel runs never share observer state) and returns
+	// the series in RunStats.Samples. Set it before the first Run.
+	SampleInterval uint64
 
 	mu    sync.Mutex
 	cache map[string]*sync.Once
@@ -85,7 +95,7 @@ func (r *Runner) Run(p workload.Profile, cfg config.Config) RunStats {
 	once.Do(func() {
 		r.sem <- struct{}{}
 		defer func() { <-r.sem }()
-		stats := simulate(p, cfg, r.Instr)
+		stats := simulate(p, cfg, r.Instr, r.SampleInterval)
 		r.mu.Lock()
 		r.res[k] = stats
 		r.mu.Unlock()
@@ -110,9 +120,14 @@ func (r *Runner) Prefetch(ps []workload.Profile, cfgs []config.Config) {
 	wg.Wait()
 }
 
-func simulate(p workload.Profile, cfg config.Config, instr uint64) RunStats {
+func simulate(p workload.Profile, cfg config.Config, instr, sampleInterval uint64) RunStats {
 	prog := p.Generate()
 	cpu := pipeline.New(cfg, prog)
+	var sampler *obs.Sampler
+	if sampleInterval > 0 {
+		sampler = obs.NewSampler(sampleInterval)
+		cpu.Observe(&obs.Observer{Sampler: sampler})
+	}
 	res := cpu.Run(instr)
 	led := cpu.Engine.Ledger
 
@@ -137,6 +152,9 @@ func simulate(p workload.Profile, cfg config.Config, instr uint64) RunStats {
 	out.CommitReleases = cpu.Engine.Stats.Get("release.commit")
 	out.Activity = cpu.Activity()
 	out.Power = power.RuntimePower(cfg, out.Activity)
+	if sampler != nil {
+		out.Samples = sampler.Samples()
+	}
 	return out
 }
 

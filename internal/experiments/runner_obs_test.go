@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/workload"
+)
+
+// TestRunnerSamplerParallel exercises the interval sampler under the
+// parallel memoizing runner (each simulation owns its sampler, so this is
+// race-free by construction; `go test -race` checks that claim).
+func TestRunnerSamplerParallel(t *testing.T) {
+	r := NewRunner(4000)
+	r.SampleInterval = 250
+	ps := workload.IntProfiles()[:3]
+	cfgs := []config.Config{
+		config.GoldenCove().WithPhysRegs(64),
+		config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(64),
+	}
+	r.Prefetch(ps, cfgs)
+
+	// Hammer the memoized results from several goroutines as well.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, p := range ps {
+				for _, cfg := range cfgs {
+					r.Run(p, cfg)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, p := range ps {
+		for _, cfg := range cfgs {
+			st := r.Run(p, cfg)
+			if len(st.Samples) == 0 {
+				t.Fatalf("%s/%v: no samples", p.Name, cfg.Scheme)
+			}
+			var committed uint64
+			for _, m := range st.Samples {
+				committed += m.Committed
+			}
+			if committed != st.Committed {
+				t.Errorf("%s/%v: samples sum to %d commits, result says %d",
+					p.Name, cfg.Scheme, committed, st.Committed)
+			}
+		}
+	}
+}
+
+// TestRunnerNoSamplerByDefault: the default runner pays no observation
+// cost and returns no series.
+func TestRunnerNoSamplerByDefault(t *testing.T) {
+	r := NewRunner(2000)
+	p, _ := workload.ByName("exchange2")
+	if st := r.Run(p, config.GoldenCove().WithPhysRegs(64)); st.Samples != nil {
+		t.Error("unexpected samples without SampleInterval")
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atr/internal/config"
+)
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, nil)
+	u1 := UopEvent{Seq: 0, PC: 10, Op: "alu", Fetch: 1, Rename: 5, Dispatch: 5, Issue: 6, Complete: 7, Precommit: 8, Commit: 9}
+	u2 := UopEvent{Seq: 1, PC: 11, Op: "branch", Fetch: 1, Rename: 5, Dispatch: 5, Issue: 6, Complete: 7, Squashed: true}
+	r1 := ReleaseEvent{Cycle: 9, Scheme: "atr", Region: "atomic", Class: 0, Tag: 3}
+	tr.Uop(u1)
+	tr.Uop(u2)
+	tr.Release(r1)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	uops, commits, releases := tr.Counts()
+	if uops != 2 || commits != 1 || releases != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 2/1/1", uops, commits, releases)
+	}
+
+	var gotU []UopEvent
+	var gotR []ReleaseEvent
+	err := ReadTrace(&buf,
+		func(ev UopEvent) { gotU = append(gotU, ev) },
+		func(ev ReleaseEvent) { gotR = append(gotR, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotU) != 2 || gotU[0] != u1 || gotU[1] != u2 {
+		t.Errorf("uop round-trip: got %+v", gotU)
+	}
+	if len(gotR) != 1 || gotR[0] != r1 {
+		t.Errorf("release round-trip: got %+v", gotR)
+	}
+}
+
+func TestTracerO3PipeViewFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(nil, &buf)
+	tr.Uop(UopEvent{Seq: 7, PC: 0x40, Op: "load", Fetch: 2, Rename: 6, Dispatch: 6, Issue: 8, Complete: 12, Commit: 20})
+	tr.Uop(UopEvent{Seq: 8, PC: 0x41, Op: "alu", Fetch: 2, Rename: 6, Dispatch: 6, Issue: 8, Complete: 9, Squashed: true})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 14 {
+		t.Fatalf("got %d lines, want 14 (7 per uop)", len(lines))
+	}
+	wantPrefixes := []string{"O3PipeView:fetch:", "O3PipeView:decode:", "O3PipeView:rename:",
+		"O3PipeView:dispatch:", "O3PipeView:issue:", "O3PipeView:complete:", "O3PipeView:retire:"}
+	for i, l := range lines {
+		if !strings.HasPrefix(l, wantPrefixes[i%7]) {
+			t.Errorf("line %d = %q, want prefix %q", i, l, wantPrefixes[i%7])
+		}
+	}
+	if want := "O3PipeView:fetch:1000:0x00000040:0:7:load"; lines[0] != want {
+		t.Errorf("fetch line = %q, want %q", lines[0], want)
+	}
+	if want := "O3PipeView:retire:10000:store:0"; lines[6] != want {
+		t.Errorf("retire line = %q, want %q", lines[6], want)
+	}
+	// A squashed uop retires at tick 0 (Konata's wrong-path marker).
+	if want := "O3PipeView:retire:0:store:0"; lines[13] != want {
+		t.Errorf("squashed retire line = %q, want %q", lines[13], want)
+	}
+}
+
+func TestSamplerDeltasAndFinalize(t *testing.T) {
+	s := NewSampler(100)
+	if s.Due(0) || s.Due(50) || !s.Due(100) || !s.Due(200) {
+		t.Fatal("Due boundaries wrong")
+	}
+	s.Record(Snapshot{Cycle: 100, Committed: 40, ReleaseATR: 5, ROB: 10})
+	s.Record(Snapshot{Cycle: 200, Committed: 90, ReleaseATR: 12, ROB: 20})
+	s.Finalize(Snapshot{Cycle: 230, Committed: 100, ReleaseATR: 12, ROB: 3})
+	s.Finalize(Snapshot{Cycle: 230, Committed: 100, ReleaseATR: 12, ROB: 3}) // idempotent
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("got %d samples, want 3", len(got))
+	}
+	if got[0].Committed != 40 || got[1].Committed != 50 || got[2].Committed != 10 {
+		t.Errorf("commit deltas = %d,%d,%d", got[0].Committed, got[1].Committed, got[2].Committed)
+	}
+	if got[1].ReleaseATR != 7 {
+		t.Errorf("release delta = %d, want 7", got[1].ReleaseATR)
+	}
+	if got[2].Cycles != 30 {
+		t.Errorf("tail interval = %d cycles, want 30", got[2].Cycles)
+	}
+	if got[1].IPC != 0.5 {
+		t.Errorf("interval IPC = %v, want 0.5", got[1].IPC)
+	}
+	if got[2].ROB != 3 {
+		t.Errorf("occupancy should be instantaneous, got %d", got[2].ROB)
+	}
+}
+
+func TestSamplerCSVAndJSON(t *testing.T) {
+	s := NewSampler(10)
+	s.Record(Snapshot{Cycle: 10, Committed: 5})
+	var csv, js bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "cycle,cycles,committed,ipc") {
+		t.Errorf("csv = %q", csv.String())
+	}
+	if !strings.HasPrefix(lines[1], "10,10,5,0.5000") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"committed": 5`) {
+		t.Errorf("json = %q", js.String())
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	m.Benchmark = BenchmarkInfo{Name: "gcc", Class: "int", Seed: 502, StaticInstrs: 230}
+	m.Config = config.GoldenCove()
+	m.Result = RunResult{Cycles: 1000, Committed: 500, IPC: 0.5, BranchAccuracy: 0.97}
+	m.Ledger = LedgerSummary{Completed: 400, Atomic: 0.25}
+	m.Counters = map[string]uint64{"release.atr": 10}
+	m.Perf = PerfInfo{WallSeconds: 0.5, InstrPerSec: 1000}
+	m.Samples = []Sample{{Cycle: 500, Cycles: 500, Committed: 300}, {Cycle: 1000, Cycles: 500, Committed: 200}}
+	m.Trace = &TraceInfo{Uops: 600, Commits: 500, Releases: 20}
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != m.Benchmark || got.Result != m.Result || got.Ledger != m.Ledger {
+		t.Error("manifest fields did not round-trip")
+	}
+	if got.Config != m.Config {
+		t.Error("config did not round-trip")
+	}
+	if len(got.Samples) != 2 || got.Samples[0] != m.Samples[0] {
+		t.Error("samples did not round-trip")
+	}
+	if got.Counters["release.atr"] != 10 {
+		t.Error("counters did not round-trip")
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	base := func() Manifest {
+		m := NewManifest()
+		m.Benchmark = BenchmarkInfo{Name: "gcc", Class: "int"}
+		m.Config = config.GoldenCove()
+		m.Result = RunResult{Cycles: 100, Committed: 50}
+		return m
+	}
+	ok := base()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("base manifest invalid: %v", err)
+	}
+	cases := map[string]func(*Manifest){
+		"wrong schema":       func(m *Manifest) { m.Schema = "bogus" },
+		"wrong version":      func(m *Manifest) { m.Version = 99 },
+		"missing bench":      func(m *Manifest) { m.Benchmark.Name = "" },
+		"invalid config":     func(m *Manifest) { m.Config.FetchWidth = 0 },
+		"zero cycles":        func(m *Manifest) { m.Result.Cycles = 0 },
+		"sample sum":         func(m *Manifest) { m.Samples = []Sample{{Cycle: 100, Committed: 7}} },
+		"trace commit count": func(m *Manifest) { m.Trace = &TraceInfo{Commits: 49} },
+	}
+	for name, mutate := range cases {
+		m := base()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken manifest", name)
+		}
+	}
+}
+
+func TestObserverEnabled(t *testing.T) {
+	var nilObs *Observer
+	if nilObs.Enabled() {
+		t.Error("nil observer reports enabled")
+	}
+	if (&Observer{}).Enabled() {
+		t.Error("empty observer reports enabled")
+	}
+	if !(&Observer{Sampler: NewSampler(10)}).Enabled() {
+		t.Error("sampler-only observer reports disabled")
+	}
+}
+
+func TestBuildInfoPopulated(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Error("missing Go version")
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the cumulative machine state the pipeline hands the sampler
+// at an interval boundary; the sampler differences consecutive snapshots
+// into per-interval samples. Occupancy fields are instantaneous.
+type Snapshot struct {
+	Cycle        uint64
+	Committed    uint64
+	Mispredicts  uint64
+	Flushes      uint64
+	RenameStalls uint64
+
+	BranchAccuracy float64 // cumulative, not differenced
+
+	ROB, RS, LQ, SQ  int // instantaneous occupancy
+	FreeGPR, FreeFPR int // instantaneous free-list depth
+
+	ReleaseATR, ReleaseER, ReleaseCommit, ReleaseFlush uint64
+}
+
+// Sample is one interval of the time series. Event counts are deltas over
+// the interval; occupancy and accuracy are the values at the sample point.
+type Sample struct {
+	Cycle          uint64  `json:"cycle"`  // end-of-interval cycle
+	Cycles         uint64  `json:"cycles"` // interval length
+	Committed      uint64  `json:"committed"`
+	IPC            float64 `json:"ipc"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	Flushes        uint64  `json:"flushes"`
+	RenameStalls   uint64  `json:"rename_stalls"`
+	BranchAccuracy float64 `json:"branch_accuracy"`
+	ROB            int     `json:"rob"`
+	RS             int     `json:"rs"`
+	LQ             int     `json:"lq"`
+	SQ             int     `json:"sq"`
+	FreeGPR        int     `json:"free_gpr"`
+	FreeFPR        int     `json:"free_fpr"`
+	ReleaseATR     uint64  `json:"release_atr"`
+	ReleaseER      uint64  `json:"release_er"`
+	ReleaseCommit  uint64  `json:"release_commit"`
+	ReleaseFlush   uint64  `json:"release_flush"`
+}
+
+// Sampler accumulates an interval time series. It is not safe for
+// concurrent use; attach one per CPU.
+type Sampler struct {
+	interval uint64
+	prev     Snapshot
+	samples  []Sample
+}
+
+// NewSampler creates a sampler firing every interval cycles (interval
+// must be positive).
+func NewSampler(interval uint64) *Sampler {
+	if interval == 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	return &Sampler{interval: interval}
+}
+
+// Interval returns the sampling period in cycles.
+func (s *Sampler) Interval() uint64 { return s.interval }
+
+// Due reports whether cycle is an interval boundary.
+func (s *Sampler) Due(cycle uint64) bool {
+	return cycle > 0 && cycle%s.interval == 0
+}
+
+// Record folds one snapshot into the series. Snapshots must arrive in
+// cycle order; a snapshot not past the previous one is ignored.
+func (s *Sampler) Record(snap Snapshot) {
+	if snap.Cycle <= s.prev.Cycle {
+		return
+	}
+	dc := snap.Cycle - s.prev.Cycle
+	sm := Sample{
+		Cycle:          snap.Cycle,
+		Cycles:         dc,
+		Committed:      snap.Committed - s.prev.Committed,
+		Mispredicts:    snap.Mispredicts - s.prev.Mispredicts,
+		Flushes:        snap.Flushes - s.prev.Flushes,
+		RenameStalls:   snap.RenameStalls - s.prev.RenameStalls,
+		BranchAccuracy: snap.BranchAccuracy,
+		ROB:            snap.ROB,
+		RS:             snap.RS,
+		LQ:             snap.LQ,
+		SQ:             snap.SQ,
+		FreeGPR:        snap.FreeGPR,
+		FreeFPR:        snap.FreeFPR,
+		ReleaseATR:     snap.ReleaseATR - s.prev.ReleaseATR,
+		ReleaseER:      snap.ReleaseER - s.prev.ReleaseER,
+		ReleaseCommit:  snap.ReleaseCommit - s.prev.ReleaseCommit,
+		ReleaseFlush:   snap.ReleaseFlush - s.prev.ReleaseFlush,
+	}
+	sm.IPC = float64(sm.Committed) / float64(dc)
+	s.samples = append(s.samples, sm)
+	s.prev = snap
+}
+
+// Finalize records the partial tail interval at the end of a run, if the
+// run did not end exactly on an interval boundary. Safe to call more than
+// once (subsequent calls with no progress are no-ops).
+func (s *Sampler) Finalize(snap Snapshot) {
+	s.Record(snap)
+}
+
+// Samples returns the series recorded so far.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// WriteCSV renders the series as CSV with a header row.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,cycles,committed,ipc,mispredicts,flushes,rename_stalls,branch_accuracy,rob,rs,lq,sq,free_gpr,free_fpr,release_atr,release_er,release_commit,release_flush"); err != nil {
+		return err
+	}
+	for _, m := range s.samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.4f,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			m.Cycle, m.Cycles, m.Committed, m.IPC, m.Mispredicts, m.Flushes,
+			m.RenameStalls, m.BranchAccuracy, m.ROB, m.RS, m.LQ, m.SQ,
+			m.FreeGPR, m.FreeFPR, m.ReleaseATR, m.ReleaseER, m.ReleaseCommit, m.ReleaseFlush); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the series as a JSON array.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if s.samples == nil {
+		return enc.Encode([]Sample{})
+	}
+	return enc.Encode(s.samples)
+}

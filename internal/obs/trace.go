@@ -1,0 +1,224 @@
+// Package obs is the simulator observability layer: a per-uop pipeline
+// event tracer (compact JSONL plus gem5 O3PipeView output loadable in
+// Konata), an interval time-series sampler, and versioned machine-readable
+// run manifests. Every hook is nil-guarded so that with observation
+// disabled the simulator hot path pays only a pointer compare.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TicksPerCycle scales cycles into O3PipeView ticks. gem5 emits picosecond
+// ticks (500 per cycle at 2 GHz); Konata infers the cycle time from the
+// smallest stage delta, so any consistent scale works.
+const TicksPerCycle = 500
+
+// UopEvent is the full stage-timestamp record of one dynamic micro-op,
+// emitted when the uop leaves the machine (commit or squash). A zero
+// timestamp means the uop never reached that stage. In this pipeline model
+// rename and dispatch are fused, so Dispatch equals Rename.
+type UopEvent struct {
+	Seq       uint64 `json:"seq"`
+	PC        uint64 `json:"pc"`
+	Op        string `json:"op"`
+	Fetch     uint64 `json:"fetch"`
+	Rename    uint64 `json:"rename"`
+	Dispatch  uint64 `json:"dispatch"`
+	Issue     uint64 `json:"issue"`
+	Complete  uint64 `json:"complete"`
+	Precommit uint64 `json:"precommit,omitempty"`
+	Commit    uint64 `json:"commit,omitempty"`
+	Squashed  bool   `json:"squashed,omitempty"`
+}
+
+// ReleaseEvent records one physical-register release, tagged with the
+// mechanism that performed it and the region classification of the
+// released allocation.
+type ReleaseEvent struct {
+	Cycle  uint64 `json:"cycle"`
+	Scheme string `json:"scheme"` // atr | er | commit | flush
+	Region string `json:"region"` // atomic | non-branch | non-except | none
+	Class  int    `json:"class"`
+	Tag    int    `json:"tag"`
+}
+
+// Line is the union decode target for one JSONL trace line. Ev is "uop"
+// for UopEvent lines and "release" for ReleaseEvent lines.
+type Line struct {
+	Ev string `json:"ev"`
+	UopEvent
+	Cycle  uint64 `json:"cycle"`
+	Scheme string `json:"scheme"`
+	Region string `json:"region"`
+	Class  int    `json:"class"`
+	Tag    int    `json:"tag"`
+}
+
+type uopLine struct {
+	Ev string `json:"ev"`
+	UopEvent
+}
+
+type releaseLine struct {
+	Ev string `json:"ev"`
+	ReleaseEvent
+}
+
+// Tracer serializes pipeline events. Either output may be nil: jsonl
+// receives one JSON object per line, o3 receives gem5 O3PipeView records.
+// The tracer is not safe for concurrent use; attach one per CPU.
+type Tracer struct {
+	jsonl *bufio.Writer
+	o3    *bufio.Writer
+
+	uops     uint64
+	commits  uint64
+	squashes uint64
+	releases uint64
+	err      error
+}
+
+// NewTracer wraps the given writers (either may be nil, not both).
+func NewTracer(jsonl, o3view io.Writer) *Tracer {
+	t := &Tracer{}
+	if jsonl != nil {
+		t.jsonl = bufio.NewWriterSize(jsonl, 1<<16)
+	}
+	if o3view != nil {
+		t.o3 = bufio.NewWriterSize(o3view, 1<<16)
+	}
+	return t
+}
+
+// Uop records one retired or squashed micro-op.
+func (t *Tracer) Uop(ev UopEvent) {
+	t.uops++
+	if ev.Squashed {
+		t.squashes++
+	} else {
+		t.commits++
+	}
+	if t.jsonl != nil {
+		t.writeJSON(uopLine{Ev: "uop", UopEvent: ev})
+	}
+	if t.o3 != nil {
+		t.writeO3(ev)
+	}
+}
+
+// Release records one physical-register release event.
+func (t *Tracer) Release(ev ReleaseEvent) {
+	t.releases++
+	if t.jsonl != nil {
+		t.writeJSON(releaseLine{Ev: "release", ReleaseEvent: ev})
+	}
+}
+
+func (t *Tracer) writeJSON(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.setErr(err)
+		return
+	}
+	if _, err := t.jsonl.Write(b); err != nil {
+		t.setErr(err)
+		return
+	}
+	t.setErr(t.jsonl.WriteByte('\n'))
+}
+
+// writeO3 emits one gem5 O3PipeView record group. The stage sequence is
+// fetch/decode/rename/dispatch/issue/complete/retire; Konata treats a
+// retire tick of 0 as a squashed (wrong-path) instruction.
+func (t *Tracer) writeO3(ev UopEvent) {
+	tick := func(c uint64) uint64 { return c * TicksPerCycle }
+	// This model has no separate decode timestamp: approximate it as one
+	// cycle after fetch, clamped to the rename cycle.
+	decode := ev.Fetch + 1
+	if ev.Rename > 0 && decode > ev.Rename {
+		decode = ev.Rename
+	}
+	w := t.o3
+	fmt.Fprintf(w, "O3PipeView:fetch:%d:0x%08x:0:%d:%s\n", tick(ev.Fetch), ev.PC, ev.Seq, ev.Op)
+	fmt.Fprintf(w, "O3PipeView:decode:%d\n", tick(decode))
+	fmt.Fprintf(w, "O3PipeView:rename:%d\n", tick(ev.Rename))
+	fmt.Fprintf(w, "O3PipeView:dispatch:%d\n", tick(ev.Dispatch))
+	fmt.Fprintf(w, "O3PipeView:issue:%d\n", tick(ev.Issue))
+	fmt.Fprintf(w, "O3PipeView:complete:%d\n", tick(ev.Complete))
+	if ev.Squashed {
+		fmt.Fprintf(w, "O3PipeView:retire:0:store:0\n")
+	} else {
+		fmt.Fprintf(w, "O3PipeView:retire:%d:store:0\n", tick(ev.Commit))
+	}
+}
+
+func (t *Tracer) setErr(err error) {
+	if t.err == nil && err != nil {
+		t.err = err
+	}
+}
+
+// Counts returns the numbers of uop events (total and committed only) and
+// release events recorded so far.
+func (t *Tracer) Counts() (uops, commits, releases uint64) {
+	return t.uops, t.commits, t.releases
+}
+
+// Flush drains buffered output and reports the first write error, if any.
+func (t *Tracer) Flush() error {
+	if t.jsonl != nil {
+		t.setErr(t.jsonl.Flush())
+	}
+	if t.o3 != nil {
+		t.setErr(t.o3.Flush())
+	}
+	return t.err
+}
+
+// ReadTrace decodes a JSONL event trace, invoking uop or release per line.
+// Either callback may be nil to skip that event kind.
+func ReadTrace(r io.Reader, uop func(UopEvent), release func(ReleaseEvent)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var l Line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		switch l.Ev {
+		case "uop":
+			if uop != nil {
+				uop(l.UopEvent)
+			}
+		case "release":
+			if release != nil {
+				release(ReleaseEvent{Cycle: l.Cycle, Scheme: l.Scheme, Region: l.Region, Class: l.Class, Tag: l.Tag})
+			}
+		default:
+			return fmt.Errorf("obs: trace line %d: unknown event kind %q", lineNo, l.Ev)
+		}
+	}
+	return sc.Err()
+}
+
+// Observer bundles the optional per-run observation hooks handed to a CPU.
+type Observer struct {
+	Tracer  *Tracer
+	Sampler *Sampler
+}
+
+// Enabled reports whether any hook is attached.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Tracer != nil || o.Sampler != nil)
+}

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/obs"
+	"atr/internal/workload"
+)
+
+// TestTraceCommitCountMatchesResult is the observability layer's core
+// contract: the number of non-squashed uop events in the trace equals the
+// reported committed-instruction count, and the JSONL stream decodes
+// cleanly.
+func TestTraceCommitCountMatchesResult(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	prog := p.Generate()
+	cfg := config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(64)
+	cpu := New(cfg, prog)
+	var jsonl, o3 bytes.Buffer
+	tr := obs.NewTracer(&jsonl, &o3)
+	cpu.Observe(&obs.Observer{Tracer: tr})
+	res := cpu.Run(8000)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, commits, releases := tr.Counts()
+	if commits != res.Committed {
+		t.Errorf("tracer counted %d commits, result says %d", commits, res.Committed)
+	}
+
+	var decodedCommits, decodedSquashes, decodedReleases uint64
+	err := obs.ReadTrace(&jsonl,
+		func(ev obs.UopEvent) {
+			if ev.Squashed {
+				decodedSquashes++
+				return
+			}
+			decodedCommits++
+			// Stage timestamps of a committed uop are monotonic.
+			if !(ev.Fetch <= ev.Rename && ev.Rename <= ev.Issue &&
+				ev.Issue < ev.Complete && ev.Complete <= ev.Commit) {
+				t.Fatalf("non-monotonic stages: %+v", ev)
+			}
+			if ev.Precommit == 0 || ev.Precommit > ev.Commit {
+				t.Fatalf("bad precommit timestamp: %+v", ev)
+			}
+		},
+		func(ev obs.ReleaseEvent) {
+			decodedReleases++
+			switch ev.Scheme {
+			case "atr", "er", "commit", "flush":
+			default:
+				t.Fatalf("unknown release scheme %q", ev.Scheme)
+			}
+			switch ev.Region {
+			case "atomic", "non-branch", "non-except", "none":
+			default:
+				t.Fatalf("unknown release region %q", ev.Region)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decodedCommits != res.Committed {
+		t.Errorf("decoded %d commit events, result says %d", decodedCommits, res.Committed)
+	}
+	if decodedReleases != releases {
+		t.Errorf("decoded %d release events, tracer counted %d", decodedReleases, releases)
+	}
+	// ATR releases happened (combined scheme, tight register file) and
+	// made it into the trace.
+	if decodedReleases == 0 {
+		t.Error("no release events traced")
+	}
+
+	// Every uop contributes exactly 7 O3PipeView lines, and retire count
+	// matches the uop count.
+	o3lines := strings.Split(strings.TrimSpace(o3.String()), "\n")
+	total := decodedCommits + decodedSquashes
+	if uint64(len(o3lines)) != 7*total {
+		t.Errorf("O3PipeView has %d lines, want %d", len(o3lines), 7*total)
+	}
+	var retires uint64
+	for _, l := range o3lines {
+		if !strings.HasPrefix(l, "O3PipeView:") {
+			t.Fatalf("malformed O3PipeView line %q", l)
+		}
+		if strings.HasPrefix(l, "O3PipeView:retire:") {
+			retires++
+		}
+	}
+	if retires != total {
+		t.Errorf("%d retire lines for %d uops", retires, total)
+	}
+}
+
+// TestTraceDeterministic: two runs of the same seed produce byte-identical
+// traces (the tracer adds no nondeterminism).
+func TestTraceDeterministic(t *testing.T) {
+	run := func() []byte {
+		p, _ := workload.ByName("exchange2")
+		cpu := New(config.GoldenCove().WithPhysRegs(64), p.Generate())
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf, nil)
+		cpu.Observe(&obs.Observer{Tracer: tr})
+		cpu.Run(3000)
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("traces differ across identical runs")
+	}
+}
+
+// TestSamplerIntervalAccounting checks the sampler contract on a real run:
+// one sample per full interval (plus one tail sample when the run does not
+// end on a boundary), and interval commit deltas summing to the result's
+// committed count.
+func TestSamplerIntervalAccounting(t *testing.T) {
+	const interval = 200
+	p, _ := workload.ByName("mcf")
+	cpu := New(config.GoldenCove().WithScheme(config.SchemeATR).WithPhysRegs(64), p.Generate())
+	s := obs.NewSampler(interval)
+	cpu.Observe(&obs.Observer{Sampler: s})
+	res := cpu.Run(5000)
+
+	samples := s.Samples()
+	want := res.Cycles / interval
+	if res.Cycles%interval != 0 {
+		want++ // tail interval
+	}
+	if uint64(len(samples)) != want {
+		t.Errorf("got %d samples for %d cycles at interval %d, want %d",
+			len(samples), res.Cycles, interval, want)
+	}
+	var committed, cycles uint64
+	for i, m := range samples {
+		committed += m.Committed
+		cycles += m.Cycles
+		if i > 0 && m.Cycle <= samples[i-1].Cycle {
+			t.Fatalf("sample cycles not increasing at %d", i)
+		}
+		if m.ROB < 0 || m.FreeGPR < 0 {
+			t.Fatalf("negative occupancy in sample %d: %+v", i, m)
+		}
+	}
+	if committed != res.Committed {
+		t.Errorf("interval commits sum to %d, result says %d", committed, res.Committed)
+	}
+	if cycles != res.Cycles {
+		t.Errorf("interval lengths sum to %d cycles, result says %d", cycles, res.Cycles)
+	}
+}
+
+// TestObserveDetach: attaching then detaching hooks restores the
+// zero-overhead path and stops event delivery.
+func TestObserveDetach(t *testing.T) {
+	p, _ := workload.ByName("exchange2")
+	cpu := New(config.GoldenCove().WithPhysRegs(64), p.Generate())
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, nil)
+	cpu.Observe(&obs.Observer{Tracer: tr})
+	cpu.Run(500)
+	_, before, _ := tr.Counts()
+	if before == 0 {
+		t.Fatal("tracer saw nothing while attached")
+	}
+	cpu.Observe(nil)
+	cpu.Run(1000)
+	if _, after, _ := tr.Counts(); after != before {
+		t.Errorf("tracer saw %d commits after detach, had %d", after, before)
+	}
+}
+
+// TestSamplerResultsMatchUntracedRun: observation must not perturb the
+// simulation (same cycles, commits, and release counts with hooks on/off).
+func TestSamplerResultsMatchUntracedRun(t *testing.T) {
+	run := func(observe bool) Result {
+		p, _ := workload.ByName("xz")
+		cpu := New(config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(64), p.Generate())
+		if observe {
+			var buf bytes.Buffer
+			cpu.Observe(&obs.Observer{
+				Tracer:  obs.NewTracer(&buf, nil),
+				Sampler: obs.NewSampler(100),
+			})
+		}
+		return cpu.Run(4000)
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("observation perturbed the run:\n  off: %+v\n  on:  %+v", a, b)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"atr/internal/config"
 	"atr/internal/core"
 	"atr/internal/isa"
+	"atr/internal/obs"
 	"atr/internal/power"
 	"atr/internal/program"
 	"atr/internal/stats"
@@ -88,6 +89,23 @@ type CPU struct {
 
 	// cpCount tracks outstanding SRT checkpoints (budgeted mode).
 	cpCount int
+
+	// obs, when non-nil, receives pipeline events and interval samples.
+	// Disabled observation costs the per-cycle and per-commit paths one
+	// pointer compare each.
+	obs *obs.Observer
+}
+
+// Observe attaches observation hooks to the CPU (nil detaches). The
+// tracer, if any, is also handed to the release engine.
+func (c *CPU) Observe(o *obs.Observer) {
+	if !o.Enabled() {
+		c.obs = nil
+		c.Engine.SetTracer(nil)
+		return
+	}
+	c.obs = o
+	c.Engine.SetTracer(o.Tracer)
 }
 
 // shouldCheckpoint decides whether this mispredictable instruction gets an
@@ -186,6 +204,9 @@ func (c *CPU) Run(maxInstr uint64) Result {
 			lastCommit = c.committed
 		}
 	}
+	if c.obs != nil && c.obs.Sampler != nil {
+		c.obs.Sampler.Finalize(c.snapshot())
+	}
 	c.Engine.Finalize()
 	res := Result{
 		Cycles:           c.cycle,
@@ -224,6 +245,70 @@ func (c *CPU) step() {
 	c.Engine.Tick(c.cycle)
 	c.occupancySum += uint64(c.Engine.PhysRegsPerClass() - c.Engine.FreeCount(isa.ClassGPR))
 	c.cycle++
+	if c.obs != nil {
+		c.sampleTick()
+	}
+}
+
+// sampleTick records an interval sample when the cycle counter crosses a
+// boundary. Kept out of step so the disabled path is a single nil check.
+func (c *CPU) sampleTick() {
+	if s := c.obs.Sampler; s != nil && s.Due(c.cycle) {
+		s.Record(c.snapshot())
+	}
+}
+
+// snapshot captures the cumulative machine state for the sampler.
+func (c *CPU) snapshot() obs.Snapshot {
+	st := c.Engine.Stats
+	return obs.Snapshot{
+		Cycle:          c.cycle,
+		Committed:      c.committed,
+		Mispredicts:    c.mispredicts,
+		Flushes:        c.flushes,
+		RenameStalls:   c.renameStall,
+		BranchAccuracy: c.Pred.CondAccuracy(),
+		ROB:            c.rob.len(),
+		RS:             c.rsCount,
+		LQ:             c.lqCount,
+		SQ:             c.sqCount,
+		FreeGPR:        c.Engine.FreeCount(isa.ClassGPR),
+		FreeFPR:        c.Engine.FreeCount(isa.ClassFPR),
+		ReleaseATR:     st.Get("release.atr"),
+		ReleaseER:      st.Get("release.er"),
+		ReleaseCommit:  st.Get("release.commit"),
+		ReleaseFlush:   st.Get("release.flush"),
+	}
+}
+
+// traceUop emits u's stage-timestamp record (commit or squash).
+func (c *CPU) traceUop(u *uop, squashed bool) {
+	t := c.obs.Tracer
+	if t == nil {
+		return
+	}
+	ev := obs.UopEvent{
+		Seq:      u.seq,
+		PC:       u.pc,
+		Op:       u.inst.Op.String(),
+		Fetch:    u.fetchedAt,
+		Rename:   u.renCycle,
+		Dispatch: u.renCycle,
+		Squashed: squashed,
+	}
+	if u.issued {
+		ev.Issue = u.issueAt
+	}
+	if u.executed {
+		ev.Complete = u.doneAt
+	}
+	if u.precommitted {
+		ev.Precommit = u.preAt
+	}
+	if !squashed {
+		ev.Commit = c.cycle
+	}
+	t.Uop(ev)
 }
 
 // ---------------------------------------------------------------- frontend
@@ -629,6 +714,9 @@ func (c *CPU) squashFrom(minSeq uint64, useWalk bool) {
 		u := c.rob.popTail()
 		u.squashed = true
 		c.squashed++
+		if c.obs != nil {
+			c.traceUop(u, true)
+		}
 		if u.cp != nil {
 			c.cpCount--
 		}
@@ -713,6 +801,7 @@ func (c *CPU) precommitStage() {
 		}
 		if !u.precommitted {
 			u.precommitted = true
+			u.preAt = c.cycle
 			for i := 0; i < isa.MaxDsts; i++ {
 				if u.ren.Dsts[i].New.Valid() {
 					c.Engine.AllocPrecommitted(u.ren.Dsts[i])
@@ -765,6 +854,9 @@ func (c *CPU) commitStage() {
 		}
 		c.archPC = u.actualNext
 		c.committed++
+		if c.obs != nil {
+			c.traceUop(u, false)
+		}
 		if c.OnCommit != nil {
 			c.OnCommit(program.Record{
 				PC: u.pc, Op: u.inst.Op, DstVals: u.out.DstVals,

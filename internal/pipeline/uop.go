@@ -57,6 +57,7 @@ type uop struct {
 	fault bool
 
 	precommitted bool
+	preAt        uint64 // cycle the precommit pointer passed this uop
 	squashed     bool
 }
 

@@ -86,6 +86,25 @@ func (h *Histogram) Percentile(p float64) int {
 	return len(h.buckets)
 }
 
+// Merge folds other into h bucket-wise in O(buckets). In-range values of
+// other that exceed h's maximum land in h's overflow bucket; the running
+// sum is carried over exactly, so Mean is preserved.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, n := range other.buckets {
+		if n == 0 {
+			continue
+		}
+		if v < len(h.buckets) {
+			h.buckets[v] += n
+		} else {
+			h.overflow += n
+		}
+	}
+	h.overflow += other.overflow
+	h.total += other.total
+	h.sum += other.sum
+}
+
 // Counters is a named counter set with deterministic iteration order.
 type Counters struct {
 	m map[string]uint64
@@ -309,12 +328,5 @@ func (g *LifetimeLedger) Merge(other *LifetimeLedger) {
 	for i := range g.regionCounts {
 		g.regionCounts[i] += other.regionCounts[i]
 	}
-	for v := 0; v < len(other.ConsumerHist.buckets); v++ {
-		for n := uint64(0); n < other.ConsumerHist.buckets[v]; n++ {
-			g.ConsumerHist.Add(v)
-		}
-	}
-	for n := uint64(0); n < other.ConsumerHist.overflow; n++ {
-		g.ConsumerHist.Add(len(g.ConsumerHist.buckets))
-	}
+	g.ConsumerHist.Merge(other.ConsumerHist)
 }

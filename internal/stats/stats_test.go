@@ -250,3 +250,125 @@ func TestRegionKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramPercentileEdges(t *testing.T) {
+	h := NewHistogram(4)
+	if got := h.Percentile(0); got != 0 {
+		t.Errorf("empty histogram p0 = %d, want 0", got)
+	}
+	if got := h.Percentile(1); got != 0 {
+		t.Errorf("empty histogram p1 = %d, want 0", got)
+	}
+	h.Add(2)
+	h.Add(3)
+	// p=0 clamps to the first observation.
+	if got := h.Percentile(0); got != 2 {
+		t.Errorf("p0 = %d, want 2", got)
+	}
+	if got := h.Percentile(1); got != 3 {
+		t.Errorf("p1 = %d, want 3", got)
+	}
+
+	// All observations in the overflow bucket report len(buckets).
+	ov := NewHistogram(2)
+	ov.Add(10)
+	ov.Add(99)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := ov.Percentile(p); got != 3 {
+			t.Errorf("all-overflow p%.1f = %d, want 3", p, got)
+		}
+	}
+}
+
+// TestHistogramMergeMatchesReplay checks bucket-wise Merge against the
+// replay-based reference (one Add per observation) for same-shaped
+// histograms, where the two must agree exactly.
+func TestHistogramMergeMatchesReplay(t *testing.T) {
+	a := NewHistogram(8)
+	b := NewHistogram(8)
+	ref := NewHistogram(8)
+	for v := 0; v < 12; v++ { // values 9..11 overflow
+		for n := 0; n <= v; n++ {
+			b.Add(v)
+			ref.Add(v)
+		}
+	}
+	a.Add(1)
+	ref.Add(1)
+	a.Merge(b)
+	if a.Count() != ref.Count() {
+		t.Fatalf("count %d, want %d", a.Count(), ref.Count())
+	}
+	if a.Mean() != ref.Mean() {
+		t.Errorf("mean %v, want %v", a.Mean(), ref.Mean())
+	}
+	for v := 0; v <= 9; v++ {
+		if a.Bucket(v) != ref.Bucket(v) {
+			t.Errorf("bucket %d: %d, want %d", v, a.Bucket(v), ref.Bucket(v))
+		}
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if a.Percentile(p) != ref.Percentile(p) {
+			t.Errorf("p%v: %d, want %d", p, a.Percentile(p), ref.Percentile(p))
+		}
+	}
+}
+
+// TestHistogramMergeDifferentMax merges a wider histogram into a narrower
+// one: in-range values beyond the target's max must land in overflow, and
+// the exact sum must be preserved (the old replay-based ledger merge
+// re-bucketed these through Add with the wrong value).
+func TestHistogramMergeDifferentMax(t *testing.T) {
+	narrow := NewHistogram(2)
+	wide := NewHistogram(16)
+	wide.Add(1)
+	wide.Add(5)  // in range for wide, overflow for narrow
+	wide.Add(40) // overflow for both
+	narrow.Merge(wide)
+	if narrow.Count() != 3 {
+		t.Fatalf("count %d, want 3", narrow.Count())
+	}
+	if got := narrow.Bucket(1); got != 1 {
+		t.Errorf("bucket 1 = %d, want 1", got)
+	}
+	if got := narrow.Bucket(99); got != 2 { // overflow bucket
+		t.Errorf("overflow = %d, want 2", got)
+	}
+	if want := float64(1+5+40) / 3; narrow.Mean() != want {
+		t.Errorf("mean %v, want %v", narrow.Mean(), want)
+	}
+}
+
+// TestLedgerMergeConsumerHist exercises the ledger merge path over the
+// consumer histogram, including overflow observations.
+func TestLedgerMergeConsumerHist(t *testing.T) {
+	mk := func(consumers ...int) *LifetimeLedger {
+		g := NewLifetimeLedger()
+		for i, n := range consumers {
+			g.Record(&RegLifetime{
+				Renamed: 1, LastConsumed: 2, Redefined: 3,
+				Precommitted: 4, Committed: uint64(5 + i),
+				Consumers: n, Region: RegionAtomic,
+			})
+		}
+		return g
+	}
+	a := mk(1, 2)
+	b := mk(3, 99) // 99 overflows the 16-bucket consumer histogram
+	ref := mk(1, 2, 3, 99)
+	a.Merge(b)
+	if a.ConsumerHist.Count() != ref.ConsumerHist.Count() {
+		t.Fatalf("count %d, want %d", a.ConsumerHist.Count(), ref.ConsumerHist.Count())
+	}
+	if a.ConsumerHist.Mean() != ref.ConsumerHist.Mean() {
+		t.Errorf("mean %v, want %v", a.ConsumerHist.Mean(), ref.ConsumerHist.Mean())
+	}
+	for v := 0; v <= 17; v++ {
+		if a.ConsumerHist.Bucket(v) != ref.ConsumerHist.Bucket(v) {
+			t.Errorf("bucket %d: %d, want %d", v, a.ConsumerHist.Bucket(v), ref.ConsumerHist.Bucket(v))
+		}
+	}
+	if a.Completed() != 4 {
+		t.Errorf("completed %d, want 4", a.Completed())
+	}
+}
