@@ -9,6 +9,7 @@ package atr
 import (
 	"io"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -216,6 +217,115 @@ func BenchmarkBulkMarkBuild(b *testing.B) {
 	}
 }
 
+// ------------------------------------------- scheduler microbenchmarks
+
+// ilpKernel is a wide independent-operation loop: every ALU op in the body
+// writes a distinct register from a loop-invariant source, so the scheduler
+// sees full-width issue every cycle.
+func ilpKernel() *program.Program {
+	b := program.NewBuilder(11, 12)
+	b.Label("top")
+	regs := []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6,
+		isa.R7, isa.R8, isa.R9, isa.R10, isa.R11, isa.R12}
+	for i, r := range regs {
+		b.ALU(r, isa.R0, isa.RegInvalid, int64(i+1))
+	}
+	b.Jump("top")
+	return b.MustBuild()
+}
+
+// chainKernel is a serial dependence chain: each op reads the previous one's
+// result, so at most one instruction is ready per cycle and the wakeup path
+// dominates.
+func chainKernel() *program.Program {
+	b := program.NewBuilder(21, 22)
+	b.Label("top")
+	for i := 0; i < 12; i++ {
+		b.ALU(isa.R1, isa.R1, isa.RegInvalid, 1)
+	}
+	b.Jump("top")
+	return b.MustBuild()
+}
+
+// storeKernel alternates stores with loads from the same addresses, keeping
+// the store queue full and exercising STA/STD split capture and
+// store-to-load forwarding on every iteration.
+func storeKernel() *program.Program {
+	b := program.NewBuilder(31, 32)
+	b.Label("top")
+	for i := 0; i < 6; i++ {
+		b.ALU(isa.R1, isa.R1, isa.RegInvalid, 1)
+		b.Store(isa.R0, isa.R1, 0x1000, 1<<16, int64(i)*8)
+		b.Load(isa.Reg(int(isa.R2)+i), isa.R0, 0x1000, 1<<16, int64(i)*8)
+	}
+	b.Jump("top")
+	return b.MustBuild()
+}
+
+// BenchmarkScheduler measures the pipeline's scheduling hot paths on three
+// kernel shapes, for both the event-driven scheduler and the scan reference.
+// One op is 1000 committed instructions on a persistent CPU, so allocs/op is
+// the steady-state allocation rate (the event scheduler's is asymptotically
+// zero; TestSteadyStateZeroAlloc enforces it exactly).
+func BenchmarkScheduler(b *testing.B) {
+	kernels := []struct {
+		name string
+		prog *program.Program
+	}{
+		{"ilp", ilpKernel()},
+		{"chain", chainKernel()},
+		{"stores", storeKernel()},
+	}
+	scheds := []struct {
+		name string
+		kind pipeline.SchedulerKind
+	}{
+		{"event", pipeline.SchedulerEvent},
+		{"scan", pipeline.SchedulerScan},
+	}
+	for _, k := range kernels {
+		for _, s := range scheds {
+			b.Run(k.name+"/"+s.name, func(b *testing.B) {
+				cpu := pipeline.NewWithScheduler(config.GoldenCove(), k.prog, s.kind)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var target uint64
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					target += 1000
+					cycles = cpu.Run(target).Cycles
+				}
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(cycles)/sec, "cycles/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10Throughput measures end-to-end simulator throughput over the
+// full Figure 10 sweep grid under each scheduler implementation — the
+// headline number for the event-driven scheduler rework.
+func BenchmarkFig10Throughput(b *testing.B) {
+	scheds := []struct {
+		name string
+		kind pipeline.SchedulerKind
+	}{
+		{"event", pipeline.SchedulerEvent},
+		{"scan", pipeline.SchedulerScan},
+	}
+	for _, s := range scheds {
+		b.Run(s.name, func(b *testing.B) {
+			var t experiments.Throughput
+			for i := 0; i < b.N; i++ {
+				t = experiments.SchedulerSweep(s.kind, benchInstr)
+			}
+			b.ReportMetric(t.CyclesPerSec(), "cycles/s")
+			b.ReportMetric(t.InstrPerSec(), "instr/s")
+		})
+	}
+}
+
 // TestEmitBenchManifest writes BENCH_sim.json — a run manifest recording
 // simulator throughput on the reference workload — when ATR_BENCH_JSON=1
 // is set (e.g. by CI), so benchmark results become diffable artifacts.
@@ -228,9 +338,12 @@ func TestEmitBenchManifest(t *testing.T) {
 	cpu := pipeline.New(cfg, p.Generate())
 	sampler := obs.NewSampler(1000)
 	cpu.Observe(&obs.Observer{Sampler: sampler})
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	res := cpu.Run(20_000)
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 
 	m := obs.NewManifest()
 	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
@@ -244,8 +357,10 @@ func TestEmitBenchManifest(t *testing.T) {
 		AvgRegsLive: res.AvgRegsLive, Halted: res.Halted,
 	}
 	m.Perf = obs.PerfInfo{
-		WallSeconds: elapsed.Seconds(),
-		InstrPerSec: float64(res.Committed) / elapsed.Seconds(),
+		WallSeconds:    elapsed.Seconds(),
+		InstrPerSec:    float64(res.Committed) / elapsed.Seconds(),
+		CyclesPerSec:   float64(res.Cycles) / elapsed.Seconds(),
+		AllocsPerInstr: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Committed),
 	}
 	m.Samples = sampler.Samples()
 	if err := m.Validate(); err != nil {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	atrsim [-bench name] [-scheme baseline|nonspec-er|atomic|combined]
-//	       [-regs N] [-n instructions] [-delay N] [-walk] [-v]
+//	       [-regs N] [-n instructions] [-delay N] [-walk] [-sched event|scan] [-v]
 //	       [-trace out.jsonl] [-o3view out.o3] [-json run.json]
 //	       [-sample N] [-samples out.csv|out.json]
 package main
@@ -32,6 +32,7 @@ func main() {
 	n := flag.Uint64("n", 100_000, "instructions to simulate")
 	delay := flag.Int("delay", 0, "ATR redefine-signal pipeline delay (Fig 13)")
 	walk := flag.Bool("walk", false, "use walk-based SRT recovery instead of checkpoints")
+	schedName := flag.String("sched", "event", "scheduler implementation: event (wakeup lists + completion wheel) or scan (reference)")
 	list := flag.Bool("list", false, "list benchmark profiles and exit")
 	verbose := flag.Bool("v", false, "print internal release counters")
 	tracePath := flag.String("trace", "", "write a JSONL pipeline event trace to this file")
@@ -99,8 +100,19 @@ func main() {
 		observer.Sampler = obs.NewSampler(*sample)
 	}
 
+	var sched pipeline.SchedulerKind
+	switch *schedName {
+	case "event":
+		sched = pipeline.SchedulerEvent
+	case "scan":
+		sched = pipeline.SchedulerScan
+	default:
+		fmt.Fprintf(os.Stderr, "atrsim: unknown scheduler %q (want event or scan)\n", *schedName)
+		os.Exit(2)
+	}
+
 	prog := p.Generate()
-	cpu := pipeline.New(cfg, prog)
+	cpu := pipeline.NewWithScheduler(cfg, prog, sched)
 	if observer.Enabled() {
 		cpu.Observe(&observer)
 	}

@@ -61,8 +61,19 @@ func New(cfg config.Config) *Predictor {
 // speculatively updates history and RAS. Non-control instructions must not
 // be passed here.
 func (p *Predictor) Predict(in *isa.Inst, pc uint64) BranchPrediction {
-	bp := BranchPrediction{
-		Checkpoint: Checkpoint{Hist: p.Tage.History().Snapshot(), RAS: p.RAS.Snapshot()},
+	var bp BranchPrediction
+	p.PredictInto(in, pc, &bp)
+	return bp
+}
+
+// PredictInto is Predict with caller-owned checkpoint storage: the RAS
+// snapshot reuses bp's existing Checkpoint.RAS backing array (grown only
+// when the stack outgrew it), so callers that pool their prediction records
+// allocate nothing in steady state. bp is fully overwritten.
+func (p *Predictor) PredictInto(in *isa.Inst, pc uint64, bp *BranchPrediction) {
+	ras := p.RAS.AppendSnapshot(bp.Checkpoint.RAS[:0])
+	*bp = BranchPrediction{
+		Checkpoint: Checkpoint{Hist: p.Tage.History().Snapshot(), RAS: ras},
 		HasTarget:  true,
 	}
 	switch in.Op {
@@ -110,7 +121,6 @@ func (p *Predictor) Predict(in *isa.Inst, pc uint64) BranchPrediction {
 	default:
 		panic("bpred: Predict called on non-control op " + in.Op.String())
 	}
-	return bp
 }
 
 // Resolve trains the predictor with the actual outcome of a previously

@@ -148,6 +148,12 @@ func (r *RAS) Snapshot() []uint64 {
 	return s
 }
 
+// AppendSnapshot appends the RAS state to buf (reusing its capacity) and
+// returns it — the allocation-free Snapshot for pooled callers.
+func (r *RAS) AppendSnapshot(buf []uint64) []uint64 {
+	return append(buf, r.stack...)
+}
+
 // Restore rewinds to a snapshot.
 func (r *RAS) Restore(s []uint64) {
 	r.stack = r.stack[:0]

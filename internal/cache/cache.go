@@ -271,6 +271,7 @@ type StreamPrefetcher struct {
 	entries   []streamEntry
 	degree    int
 	threshold int
+	scratch   []uint64 // reused Train output; valid until the next Train call
 }
 
 type streamEntry struct {
@@ -292,7 +293,8 @@ func NewStreamPrefetcher(streams, degree int) *StreamPrefetcher {
 }
 
 // Train observes a demand-missed line address and returns the line addresses
-// to prefetch (possibly none).
+// to prefetch (possibly none). The returned slice is scratch storage owned by
+// the prefetcher and is overwritten by the next Train call.
 func (p *StreamPrefetcher) Train(line uint64, lineBytes uint64) []uint64 {
 	page := line >> 12
 	var victim *streamEntry
@@ -316,12 +318,13 @@ func (p *StreamPrefetcher) Train(line uint64, lineBytes uint64) []uint64 {
 			if e.count < p.threshold {
 				return nil
 			}
-			out := make([]uint64, 0, p.degree)
+			out := p.scratch[:0]
 			cur := line
 			for i := 0; i < p.degree; i++ {
 				cur = uint64(int64(cur) + e.dir*int64(lineBytes))
 				out = append(out, cur)
 			}
+			p.scratch = out
 			return out
 		}
 		if victim == nil || !e.valid {

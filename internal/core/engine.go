@@ -162,6 +162,31 @@ type Engine struct {
 	openPre int
 
 	satCount int // consumer counter sentinel; <0 means unbounded
+
+	// Free lists recycling the engine's only steady-state allocations:
+	// per-allocation lifetime records (recorded into the Ledger by value,
+	// so recycling after Record is safe) and SRT checkpoints.
+	lifePool []*stats.RegLifetime
+	cpPool   []*Checkpoint
+}
+
+// newLife returns a lifetime record initialized to {Renamed: renamed},
+// recycled from the pool when possible.
+func (e *Engine) newLife(renamed uint64) *stats.RegLifetime {
+	if n := len(e.lifePool) - 1; n >= 0 {
+		l := e.lifePool[n]
+		e.lifePool[n] = nil
+		e.lifePool = e.lifePool[:n]
+		*l = stats.RegLifetime{Renamed: renamed}
+		return l
+	}
+	return &stats.RegLifetime{Renamed: renamed}
+}
+
+// freeLife recycles a lifetime record after Ledger.Record copied it out and
+// it was removed from e.lives (its only reference).
+func (e *Engine) freeLife(l *stats.RegLifetime) {
+	e.lifePool = append(e.lifePool, l)
 }
 
 // NewEngine builds the renaming state for cfg. The initial architectural
@@ -307,7 +332,7 @@ func (e *Engine) renameDst(r isa.Reg, cycle uint64) DstAlloc {
 	newTag, gen := b.alloc()
 	b.srt[idx] = newTag
 	na := Alloc{Class: b.class, Tag: newTag, Gen: gen}
-	e.lives[na] = &stats.RegLifetime{Renamed: cycle}
+	e.lives[na] = e.newLife(cycle)
 	e.Stats.Inc("rename.alloc", 1)
 
 	d := DstAlloc{Reg: r, New: na, Prev: prev, PrevValid: true}
@@ -594,6 +619,7 @@ func (e *Engine) RedefinerCommitted(d DstAlloc, cycle uint64) {
 		}
 		e.Ledger.Record(life)
 		delete(e.lives, d.Prev)
+		e.freeLife(life)
 	}
 	key := mapping{d.Prev, d.Reg}
 	if !d.PrevValid {
@@ -708,6 +734,7 @@ func (e *Engine) FlushInstr(out *RenameOut, cycle uint64) {
 				life.WrongPath = true
 				e.Ledger.Record(life)
 				delete(e.lives, d.New)
+				e.freeLife(life)
 			}
 		}
 		key := mapping{d.New, d.Reg}
@@ -749,13 +776,31 @@ func (e *Engine) ReplayDst(d DstAlloc) {
 	b.srt[d.Reg.ClassIndex()] = d.New.Tag
 }
 
-// TakeCheckpoint snapshots both SRTs (taken at branches).
+// TakeCheckpoint snapshots both SRTs (taken at branches). Checkpoints come
+// from a free list; callers hand them back via ReleaseCheckpoint when the
+// owning instruction commits or squashes.
 func (e *Engine) TakeCheckpoint() *Checkpoint {
-	cp := &Checkpoint{}
+	var cp *Checkpoint
+	if n := len(e.cpPool) - 1; n >= 0 {
+		cp = e.cpPool[n]
+		e.cpPool[n] = nil
+		e.cpPool = e.cpPool[:n]
+	} else {
+		cp = &Checkpoint{}
+	}
 	for c := range e.banks {
-		cp.srt[c] = append([]PTag(nil), e.banks[c].srt...)
+		cp.srt[c] = append(cp.srt[c][:0], e.banks[c].srt...)
 	}
 	return cp
+}
+
+// ReleaseCheckpoint recycles a checkpoint whose owning instruction no longer
+// needs it. nil is ignored.
+func (e *Engine) ReleaseCheckpoint(cp *Checkpoint) {
+	if cp == nil {
+		return
+	}
+	e.cpPool = append(e.cpPool, cp)
 }
 
 // RestoreCheckpoint rewinds both SRTs to cp.
@@ -801,6 +846,7 @@ func (e *Engine) Finalize() {
 	for a, life := range e.lives {
 		e.Ledger.Record(life)
 		delete(e.lives, a)
+		e.freeLife(life)
 	}
 }
 

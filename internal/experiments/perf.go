@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"time"
+
+	"atr/internal/config"
+	"atr/internal/pipeline"
+	"atr/internal/workload"
+)
+
+// Throughput summarizes the wall-clock performance of a serial simulation
+// sweep: how fast the simulator itself runs, as opposed to what it models.
+type Throughput struct {
+	Runs   int     // simulations executed
+	Instr  uint64  // instructions committed, summed over runs
+	Cycles uint64  // cycles simulated, summed over runs
+	Wall   float64 // wall-clock seconds for the whole sweep
+}
+
+// CyclesPerSec returns simulated cycles per wall-clock second.
+func (t Throughput) CyclesPerSec() float64 {
+	if t.Wall == 0 {
+		return 0
+	}
+	return float64(t.Cycles) / t.Wall
+}
+
+// InstrPerSec returns committed instructions per wall-clock second.
+func (t Throughput) InstrPerSec() float64 {
+	if t.Wall == 0 {
+		return 0
+	}
+	return float64(t.Instr) / t.Wall
+}
+
+// SchedulerSweep executes the Figure 10 sweep grid — every benchmark profile
+// at both RF sizes under every release scheme, on the ROB-512 Golden Cove
+// configuration — serially with the given scheduler implementation, and
+// returns the aggregate simulator throughput. Serial execution keeps the
+// comparison between scheduler implementations free of parallel-scheduling
+// noise; instr is the per-run instruction budget.
+func SchedulerSweep(kind pipeline.SchedulerKind, instr uint64) Throughput {
+	var t Throughput
+	start := time.Now()
+	for _, p := range workload.Profiles() {
+		prog := p.Generate()
+		for _, n := range []int{64, 224} {
+			for _, s := range config.Schemes() {
+				cfg := base().WithPhysRegs(n).WithScheme(s)
+				res := pipeline.NewWithScheduler(cfg, prog, kind).Run(instr)
+				t.Runs++
+				t.Instr += res.Committed
+				t.Cycles += res.Cycles
+			}
+		}
+	}
+	t.Wall = time.Since(start).Seconds()
+	return t
+}

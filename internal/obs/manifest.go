@@ -93,6 +93,12 @@ type LedgerSummary struct {
 type PerfInfo struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	InstrPerSec float64 `json:"instr_per_sec"`
+	// CyclesPerSec is simulated cycles per wall-clock second; together
+	// with InstrPerSec it tracks scheduler-rework regressions.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// AllocsPerInstr is heap allocations per committed instruction over
+	// the whole run, including warmup (steady state is zero).
+	AllocsPerInstr float64 `json:"allocs_per_instr,omitempty"`
 }
 
 // TraceInfo summarizes an event trace emitted alongside a manifest.

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/obs"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// runSched executes prog under cfg with the given scheduler implementation
+// and returns the run summary, the full counter dump, and a digest of the
+// complete JSONL event trace (uop events and release events).
+func runSched(cfg config.Config, prog *program.Program, n uint64, kind SchedulerKind) (Result, string, string) {
+	h := sha256.New()
+	cpu := NewWithScheduler(cfg, prog, kind)
+	cpu.Observe(&obs.Observer{Tracer: obs.NewTracer(h, nil)})
+	res := cpu.Run(n)
+	return res, cpu.Stats.String(), hex.EncodeToString(h.Sum(nil))
+}
+
+// compareSchedulers asserts that the event scheduler is bit-identical to the
+// reference scan scheduler for one configuration: same Result, same counter
+// set (which includes release.atr/er/commit/flush, atr.claims, rename.alloc,
+// and lsq.forwards), and the same event trace byte-for-byte.
+func compareSchedulers(t *testing.T, name string, cfg config.Config, prog *program.Program, n uint64) {
+	t.Helper()
+	evRes, evCtr, evDig := runSched(cfg, prog, n, SchedulerEvent)
+	scRes, scCtr, scDig := runSched(cfg, prog, n, SchedulerScan)
+	if evRes != scRes {
+		t.Errorf("%s: Result diverged\n event: %+v\n scan:  %+v", name, evRes, scRes)
+	}
+	if evCtr != scCtr {
+		t.Errorf("%s: counters diverged\n event: %s\n scan:  %s", name, evCtr, scCtr)
+	}
+	if evDig != scDig {
+		t.Errorf("%s: trace digest diverged (event %s != scan %s)", name, evDig, scDig)
+	}
+}
+
+// TestSchedulerEquivalence is the seed oracle for the event-driven
+// scheduler: every benchmark profile, under every release scheme and both
+// recovery styles, must produce bit-identical results, counters, and event
+// traces with the event scheduler and the reference scan scheduler.
+func TestSchedulerEquivalence(t *testing.T) {
+	const instrs = 2000
+	for _, p := range workload.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := p.Generate()
+			for _, scheme := range config.Schemes() {
+				for _, walk := range []bool{false, true} {
+					cfg := testConfig().WithScheme(scheme)
+					cfg.WalkRecovery = walk
+					name := scheme.String() + "/checkpoint"
+					if walk {
+						name = scheme.String() + "/walk"
+					}
+					compareSchedulers(t, name, cfg, prog, instrs)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerEquivalenceInterrupts extends the oracle to asynchronous
+// interrupts: the squash (flush mode) and drain paths must unlink squashed
+// and drained uops from wait lists, ready queues, and the completion wheel
+// exactly as the scan scheduler observes them.
+func TestSchedulerEquivalenceInterrupts(t *testing.T) {
+	profiles := []string{"perlbench", "mcf", "bwaves", "povray"}
+	for _, pname := range profiles {
+		p, ok := workload.ByName(pname)
+		if !ok {
+			t.Fatalf("unknown profile %q", pname)
+		}
+		p, pname := p, pname
+		t.Run(pname, func(t *testing.T) {
+			t.Parallel()
+			prog := p.Generate()
+			for _, mode := range []config.InterruptMode{config.InterruptDrain, config.InterruptFlush} {
+				for _, scheme := range config.Schemes() {
+					cfg := testConfig().WithScheme(scheme)
+					cfg.InterruptMode = mode
+					cfg.InterruptInterval = 500
+					cfg.InterruptCost = 40
+					name := scheme.String() + "/flush"
+					if mode == config.InterruptDrain {
+						name = scheme.String() + "/drain"
+					}
+					compareSchedulers(t, name, cfg, prog, 3000)
+				}
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAlloc verifies the tentpole's allocation goal: once
+// warm, stepping the event-driven pipeline allocates nothing — uops, wait
+// list entries, checkpoints, and lifetime records all recycle through free
+// lists.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	prog := p.Generate()
+	cpu := New(testConfig(), prog)
+	for i := 0; i < 250_000; i++ {
+		if cpu.robEmptyAndHalted() {
+			t.Fatal("program halted during warmup")
+		}
+		cpu.step()
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 2_000; i++ {
+			cpu.step()
+		}
+	})
+	if avg > 1 { // tolerate a stray map-growth rehash, nothing per-cycle
+		t.Errorf("steady-state allocations: %.2f per 2000 cycles, want 0", avg)
+	}
+}

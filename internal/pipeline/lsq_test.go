@@ -181,7 +181,7 @@ func TestSQOrderMaintained(t *testing.T) {
 	cpu := New(testConfig(), prog)
 	cpu.Run(10000)
 	last := uint64(0)
-	for _, s := range cpu.sq {
+	for _, s := range cpu.sq[cpu.sqHead:] {
 		if s.squashed {
 			t.Fatal("squashed store left in SQ")
 		}

@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
 
 	"atr/internal/bpred"
 	"atr/internal/cache"
@@ -40,20 +39,33 @@ type CPU struct {
 	vals  [isa.NumClasses][]uint64
 	ready [isa.NumClasses][]bool
 
-	// Frontend state.
+	// Frontend state. decodeQ is head-indexed (decodeQ[dqHead:] is the
+	// live queue) so popping reuses the backing array instead of
+	// reslicing capacity away.
 	fetchPC   uint64
 	fetchHold uint64 // no fetch before this cycle
 	decodeQ   []*uop
+	dqHead    int
 	seq       uint64
 
-	// Backend state.
+	// Backend state. sq is head-indexed like decodeQ (sq[sqHead:] is the
+	// live store queue, fetch order). inflight is used by the scan
+	// scheduler only; the event scheduler tracks completions in its wheel.
 	rob      *rob
-	inflight []*uop // issued, completion pending
-	sq       []*uop // in-flight stores, fetch order
+	inflight []*uop // issued, completion pending (scan mode)
+	sq       []*uop
+	sqHead   int
 	rsCount  int
 	lqCount  int
 	sqCount  int
 	prePtr   int // entries from ROB head that have precommitted
+
+	// ev is the event-driven scheduler state; nil selects the scan
+	// reference scheduler.
+	ev *evsched
+
+	// squashBuf is the reusable scratch for squashFrom.
+	squashBuf []*uop
 
 	// Architectural state.
 	archPC    uint64
@@ -129,9 +141,30 @@ func (c *CPU) shouldCheckpoint(u *uop) bool {
 	return !u.pred.Tage.Confident
 }
 
-// New builds a CPU for cfg running prog. It panics on an invalid
-// configuration (callers validate via cfg.Validate()).
+// SchedulerKind selects the backend scheduling implementation. Both
+// produce bit-identical simulations; the scan scheduler is the reference
+// the event scheduler is validated against.
+type SchedulerKind int
+
+const (
+	// SchedulerEvent is the event-driven scheduler: register wakeup
+	// lists, a completion timing wheel, indexed store-queue search, and
+	// uop pooling (see sched.go).
+	SchedulerEvent SchedulerKind = iota
+	// SchedulerScan is the reference implementation that re-scans the
+	// ROB, inflight set, and store queue every cycle (see scan.go).
+	SchedulerScan
+)
+
+// New builds a CPU for cfg running prog with the event-driven scheduler.
+// It panics on an invalid configuration (callers validate via
+// cfg.Validate()).
 func New(cfg config.Config, prog *program.Program) *CPU {
+	return NewWithScheduler(cfg, prog, SchedulerEvent)
+}
+
+// NewWithScheduler builds a CPU with an explicit scheduler implementation.
+func NewWithScheduler(cfg config.Config, prog *program.Program, kind SchedulerKind) *CPU {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -156,6 +189,9 @@ func New(cfg config.Config, prog *program.Program) *CPU {
 		a := c.Engine.Lookup(r)
 		c.vals[a.Class][a.Tag] = init[r]
 		c.ready[a.Class][a.Tag] = true
+	}
+	if kind == SchedulerEvent {
+		c.ev = newEvsched(n)
 	}
 	return c
 }
@@ -195,8 +231,8 @@ func (c *CPU) Run(maxInstr uint64) Result {
 			stuck++
 			if stuck > 1_000_000 {
 				panic(fmt.Sprintf("pipeline: no commit progress for 1M cycles at cycle %d (pc=%d hold=%d rob=%d dq=%d inflight=%d pending=%v open=%d free=%d committed=%d)",
-					c.cycle, c.fetchPC, c.fetchHold, c.rob.len(), len(c.decodeQ),
-					len(c.inflight), c.pendingInterrupt, c.Engine.OpenRegions(),
+					c.cycle, c.fetchPC, c.fetchHold, c.rob.len(), c.dqLen(),
+					c.inflightCount(), c.pendingInterrupt, c.Engine.OpenRegions(),
 					c.Engine.FreeCount(isa.ClassGPR), c.committed))
 			}
 		} else {
@@ -229,17 +265,96 @@ func (c *CPU) Run(maxInstr uint64) Result {
 }
 
 func (c *CPU) robEmptyAndHalted() bool {
-	return c.rob.len() == 0 && len(c.decodeQ) == 0 && !c.prog.ValidPC(c.fetchPC)
+	return c.rob.len() == 0 && c.dqLen() == 0 && !c.prog.ValidPC(c.fetchPC)
+}
+
+// inflightCount returns issued-but-incomplete uops (mode-independent).
+func (c *CPU) inflightCount() int {
+	if c.ev != nil {
+		return c.ev.pending
+	}
+	return len(c.inflight)
+}
+
+// newUop returns a zeroed uop, recycled from the free list in event mode.
+func (c *CPU) newUop() *uop {
+	if c.ev != nil {
+		return c.ev.getUop()
+	}
+	return new(uop)
+}
+
+// ------------------------------------------------- head-indexed queues
+//
+// decodeQ and sq pop from the front; plain reslicing (q = q[1:]) would
+// strand the popped capacity and re-allocate forever in steady state, so
+// both queues keep a head index and compact the backing array once the
+// dead prefix grows.
+
+func (c *CPU) dqLen() int    { return len(c.decodeQ) - c.dqHead }
+func (c *CPU) dqFront() *uop { return c.decodeQ[c.dqHead] }
+func (c *CPU) dqPush(u *uop) { c.decodeQ = append(c.decodeQ, u) }
+
+func (c *CPU) dqPopFront() {
+	c.decodeQ[c.dqHead] = nil
+	c.dqHead++
+	if c.dqHead < len(c.decodeQ) && c.dqHead < 64 {
+		return
+	}
+	n := copy(c.decodeQ, c.decodeQ[c.dqHead:])
+	clear(c.decodeQ[n:])
+	c.decodeQ = c.decodeQ[:n]
+	c.dqHead = 0
+}
+
+// dqClear empties the decode queue, recycling the never-renamed uops in
+// event mode (they are registered nowhere else).
+func (c *CPU) dqClear() {
+	for i := c.dqHead; i < len(c.decodeQ); i++ {
+		if c.ev != nil {
+			c.ev.putUop(c.decodeQ[i])
+		}
+		c.decodeQ[i] = nil
+	}
+	c.decodeQ = c.decodeQ[:0]
+	c.dqHead = 0
+}
+
+func (c *CPU) sqLen() int    { return len(c.sq) - c.sqHead }
+func (c *CPU) sqFront() *uop { return c.sq[c.sqHead] }
+
+func (c *CPU) sqPopFront() {
+	c.sq[c.sqHead] = nil
+	c.sqHead++
+	if c.sqHead < len(c.sq) && c.sqHead < 64 {
+		return
+	}
+	n := copy(c.sq, c.sq[c.sqHead:])
+	clear(c.sq[n:])
+	c.sq = c.sq[:n]
+	if c.ev != nil {
+		c.ev.sqFirst -= c.sqHead // sqFirst >= sqHead always holds
+	}
+	c.sqHead = 0
 }
 
 // step advances the machine by one cycle.
 func (c *CPU) step() {
 	c.maybeInterrupt()
-	c.completeStage()
-	c.captureStoreData()
+	if c.ev != nil {
+		c.evCompleteStage()
+		c.evCaptureStoreData()
+	} else {
+		c.scanCompleteStage()
+		c.scanCaptureStoreData()
+	}
 	c.precommitStage()
 	c.commitStage()
-	c.issueStage()
+	if c.ev != nil {
+		c.evIssueStage()
+	} else {
+		c.scanIssueStage()
+	}
 	c.renameStage()
 	c.fetchStage()
 	c.Engine.Tick(c.cycle)
@@ -325,7 +440,7 @@ func (c *CPU) fetchStage() {
 	}
 	taken := 0
 	for fetched := 0; fetched < c.cfg.FetchWidth; fetched++ {
-		if len(c.decodeQ) >= c.cfg.DecodeQueue {
+		if c.dqLen() >= c.cfg.DecodeQueue {
 			return
 		}
 		pc := c.fetchPC
@@ -340,24 +455,23 @@ func (c *CPU) fetchStage() {
 			return
 		}
 		in := c.prog.At(pc)
-		u := &uop{
-			seq:        c.seq,
-			pc:         pc,
-			inst:       in,
-			fetchedAt:  c.cycle,
-			renameable: c.cycle + frontendDepth,
-			predNext:   pc + 1,
-		}
+		u := c.newUop()
+		u.seq = c.seq
+		u.pc = pc
+		u.inst = in
+		u.fetchedAt = c.cycle
+		u.renameable = c.cycle + frontendDepth
+		u.predNext = pc + 1
 		c.seq++
 		if in.Op.IsControl() {
-			u.pred = c.Pred.Predict(in, pc)
+			c.Pred.PredictInto(in, pc, &u.pred)
 			u.hasPred = true
 			if u.pred.Taken {
 				u.predNext = u.pred.Target
 				taken++
 			}
 		}
-		c.decodeQ = append(c.decodeQ, u)
+		c.dqPush(u)
 		c.fetchPC = u.predNext
 		if taken >= c.cfg.FetchTargets {
 			return // fetch-target budget exhausted this cycle
@@ -366,8 +480,8 @@ func (c *CPU) fetchStage() {
 }
 
 func (c *CPU) renameStage() {
-	for n := 0; n < c.cfg.RenameWidth && len(c.decodeQ) > 0; n++ {
-		u := c.decodeQ[0]
+	for n := 0; n < c.cfg.RenameWidth && c.dqLen() > 0; n++ {
+		u := c.dqFront()
 		if u.renameable > c.cycle || c.rob.full() || c.rsCount >= c.cfg.RSSize {
 			return
 		}
@@ -403,64 +517,14 @@ func (c *CPU) renameStage() {
 			c.sqCount++
 			c.sq = append(c.sq, u)
 		}
-		c.decodeQ = c.decodeQ[1:]
+		if c.ev != nil {
+			c.onRename(u)
+		}
+		c.dqPopFront()
 	}
 }
 
 // ----------------------------------------------------------------- backend
-
-func (c *CPU) issueStage() {
-	aluLeft := c.cfg.NumALU
-	loadLeft := c.cfg.NumLoadPorts
-	storeLeft := c.cfg.NumStorePorts
-	left := c.cfg.IssueWidth
-	for i := 0; i < c.rob.len() && left > 0; i++ {
-		u := c.rob.at(i)
-		if !u.renamed || u.issued {
-			continue
-		}
-		switch u.inst.Op.FU() {
-		case isa.FUALU:
-			if aluLeft == 0 {
-				continue
-			}
-		case isa.FULoad:
-			if loadLeft == 0 {
-				continue
-			}
-		case isa.FUStore:
-			if storeLeft == 0 {
-				continue
-			}
-		}
-		if !c.srcsReady(u) {
-			continue
-		}
-		if u.isLoad() && !c.loadMayIssue(u) {
-			continue
-		}
-		if u.isLoad() {
-			// The load's address is computable now; a forwarding
-			// match whose data is still in flight stalls this load
-			// (and only this load).
-			a := u.ren.Srcs[0]
-			ea := program.EffAddr(u.inst, c.vals[a.Class][a.Tag])
-			if s := c.forwardFrom(u, ea); s != nil && !s.stDataRdy {
-				continue
-			}
-		}
-		c.issue(u)
-		left--
-		switch u.inst.Op.FU() {
-		case isa.FUALU:
-			aluLeft--
-		case isa.FULoad:
-			loadLeft--
-		case isa.FUStore:
-			storeLeft--
-		}
-	}
-}
 
 func (c *CPU) srcsReady(u *uop) bool {
 	for i := 0; i < isa.MaxSrcs; i++ {
@@ -478,57 +542,13 @@ func (c *CPU) srcsReady(u *uop) bool {
 	return true
 }
 
-// captureStoreData performs the STD half of split stores: pending store data
-// whose producer has completed is captured into the store queue entry.
-func (c *CPU) captureStoreData() {
-	for _, s := range c.sq {
-		if s.stDataRdy || !s.issued || s.squashed {
-			continue
-		}
-		a := s.ren.Srcs[1]
-		if !s.inst.Srcs[1].Valid() {
-			s.stDataRdy = true
-			s.out.StoreVal = 0
-			continue
-		}
-		if !c.ready[a.Class][a.Tag] {
-			continue
-		}
-		s.stData = c.vals[a.Class][a.Tag]
-		s.out.StoreVal = s.stData
-		s.stDataRdy = true
-		c.Engine.ConsumerIssued(a, c.cycle)
-		c.srcReads++
-	}
-}
-
-// loadMayIssue enforces conservative memory ordering: a load issues only
-// once every older in-flight store has computed its address (so forwarding
-// is exact and no memory-order replay machinery is needed).
-func (c *CPU) loadMayIssue(u *uop) bool {
-	for _, s := range c.sq {
-		if s.seq >= u.seq {
-			break
-		}
-		if !s.issued {
-			return false
-		}
-	}
-	return true
-}
-
-// forwardFrom returns the youngest older store matching ea, if any.
+// forwardFrom returns the youngest older store matching ea, if any, via
+// the active scheduler's search structure.
 func (c *CPU) forwardFrom(u *uop, ea uint64) *uop {
-	var match *uop
-	for _, s := range c.sq {
-		if s.seq >= u.seq {
-			break
-		}
-		if s.eaKnown && s.ea == ea {
-			match = s
-		}
+	if c.ev != nil {
+		return c.ev.fwdLookup(ea, u.seq)
 	}
-	return match
+	return c.scanForwardFrom(u, ea)
 }
 
 // issue schedules u for execution: reads sources (notifying the release
@@ -595,38 +615,10 @@ func (c *CPU) issue(u *uop) {
 			u.fault = true
 		}
 	}
-	c.inflight = append(c.inflight, u)
-}
-
-// completeStage applies writebacks for uops finishing this cycle, oldest
-// first, and performs misprediction recovery for the oldest mispredicting
-// control instruction.
-func (c *CPU) completeStage() {
-	var done []*uop
-	n := 0
-	for _, u := range c.inflight {
-		if u.squashed {
-			continue // drop squashed entries
-		}
-		if u.doneAt <= c.cycle {
-			done = append(done, u)
-		} else {
-			c.inflight[n] = u
-			n++
-		}
-	}
-	c.inflight = c.inflight[:n]
-	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
-
-	for _, u := range done {
-		if u.squashed {
-			continue // squashed by an older recovery this same cycle
-		}
-		c.writeback(u)
-		if u.inst.Op.IsControl() && u.actualNext != u.predNext {
-			u.mispredict = true
-			c.recoverFrom(u)
-		}
+	if c.ev != nil {
+		c.onIssue(u)
+	} else {
+		c.inflight = append(c.inflight, u)
 	}
 }
 
@@ -643,6 +635,9 @@ func (c *CPU) writeback(u *uop) {
 		c.vals[d.New.Class][d.New.Tag] = u.out.DstVals[i]
 		c.ready[d.New.Class][d.New.Tag] = true
 		c.Engine.ProducerCompleted(d.New, c.cycle)
+		if c.ev != nil {
+			c.wake(d.New)
+		}
 	}
 }
 
@@ -683,7 +678,7 @@ func (c *CPU) recoverFrom(u *uop) {
 	}
 	c.fetchPC = u.actualNext
 	c.fetchHold = c.cycle + 1
-	c.decodeQ = c.decodeQ[:0]
+	c.dqClear()
 	c.flushes++
 }
 
@@ -705,7 +700,7 @@ func (c *CPU) nearestCheckpoint(seq uint64) int {
 // caller restores a checkpoint afterwards. Engine reclamation (double-free
 // avoidance) runs either way.
 func (c *CPU) squashFrom(minSeq uint64, useWalk bool) {
-	var squashed []*uop
+	squashed := c.squashBuf[:0]
 	for c.rob.len() > 0 {
 		tail := c.rob.at(c.rob.len() - 1)
 		if tail.seq < minSeq {
@@ -719,6 +714,8 @@ func (c *CPU) squashFrom(minSeq uint64, useWalk bool) {
 		}
 		if u.cp != nil {
 			c.cpCount--
+			c.Engine.ReleaseCheckpoint(u.cp)
+			u.cp = nil
 		}
 		squashed = append(squashed, u)
 		if useWalk {
@@ -758,20 +755,42 @@ func (c *CPU) squashFrom(minSeq uint64, useWalk bool) {
 			}
 		}
 	}
-	// Remove squashed stores from the store queue.
-	n := 0
-	for _, s := range c.sq {
-		if !s.squashed {
-			c.sq[n] = s
-			n++
+	// Remove squashed stores from the store queue. Squashed entries are a
+	// contiguous suffix (sq is seq-ordered and squashes remove a seq
+	// suffix), so surviving entries keep their absolute indices and the
+	// event scheduler's sqFirst cursor needs only a clamp.
+	n := c.sqHead
+	for i := c.sqHead; i < len(c.sq); i++ {
+		s := c.sq[i]
+		if s.squashed {
+			if c.ev != nil && s.eaKnown {
+				c.ev.fwdRemove(s)
+			}
+			continue
 		}
+		c.sq[n] = s
+		n++
 	}
+	clear(c.sq[n:])
 	c.sq = c.sq[:n]
+	if c.ev != nil && c.ev.sqFirst > n {
+		c.ev.sqFirst = n
+	}
 	// Drop squashed uops from the decode queue (they were never renamed).
-	c.decodeQ = c.decodeQ[:0]
+	c.dqClear()
 	if c.prePtr > c.rob.len() {
 		c.prePtr = c.rob.len()
 	}
+	// Recycle the squashed uops. Their generation bump lazily invalidates
+	// any wait-list, ready-heap, wheel, stall-list, or capture-queue entry
+	// still referencing them.
+	if c.ev != nil {
+		for i, u := range squashed {
+			c.ev.putUop(u)
+			squashed[i] = nil
+		}
+	}
+	c.squashBuf = squashed[:0]
 }
 
 // precommitStage advances the precommit pointer: an entry precommits when
@@ -828,12 +847,17 @@ func (c *CPU) commitStage() {
 		}
 		if u.cp != nil {
 			c.cpCount--
+			c.Engine.ReleaseCheckpoint(u.cp)
+			u.cp = nil
 		}
 		if u.isStore() {
 			c.Data.Write(u.out.EA, u.out.StoreVal)
 			c.sqCount--
-			if len(c.sq) > 0 && c.sq[0] == u {
-				c.sq = c.sq[1:]
+			if c.sqLen() > 0 && c.sqFront() == u {
+				if c.ev != nil {
+					c.ev.fwdRemove(u)
+				}
+				c.sqPopFront()
 			}
 		}
 		if u.isLoad() {
@@ -864,6 +888,9 @@ func (c *CPU) commitStage() {
 				Taken: u.out.Taken, NextPC: u.actualNext,
 			})
 		}
+		if c.ev != nil {
+			c.ev.putUop(u)
+		}
 	}
 }
 
@@ -874,10 +901,11 @@ func (c *CPU) commitStage() {
 func (c *CPU) takeException(f *uop) {
 	c.exceptions++
 	c.faulted[f.pc] = true
+	pc := f.pc                // f is recycled by the squash below
 	c.squashFrom(f.seq, true) // includes f itself
-	c.fetchPC = f.pc
+	c.fetchPC = pc
 	c.fetchHold = c.cycle + exceptionCost
-	c.decodeQ = c.decodeQ[:0]
+	c.dqClear()
 	c.flushes++
 }
 
@@ -911,7 +939,7 @@ func (c *CPU) maybeInterrupt() {
 	switch c.cfg.InterruptMode {
 	case config.InterruptDrain:
 		// Fetch is held (see fetchStage); vector once the ROB drains.
-		if c.rob.len() == 0 && len(c.decodeQ) == 0 {
+		if c.rob.len() == 0 && c.dqLen() == 0 {
 			c.serveInterrupt()
 		}
 	case config.InterruptFlush:
@@ -930,7 +958,7 @@ func (c *CPU) maybeInterrupt() {
 				c.squashFrom(c.rob.at(c.prePtr).seq, true)
 				c.flushes++
 			}
-			c.decodeQ = c.decodeQ[:0]
+			c.dqClear()
 			c.interruptFlushed = true
 		}
 		if c.rob.len() == 0 {

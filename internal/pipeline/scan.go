@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"sort"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+)
+
+// The scan-based reference scheduler: the original O(window × cycles)
+// implementation, preserved verbatim behind SchedulerScan. It re-walks the
+// ROB for issue candidates, filters and sorts the inflight set for
+// completions, and sweeps the store queue for STD capture, ordering checks,
+// and forwarding every cycle. The event scheduler (sched.go) must remain
+// bit-identical to it; TestSchedulerEquivalence compares the two across the
+// full profile × scheme × recovery matrix.
+
+func (c *CPU) scanIssueStage() {
+	aluLeft := c.cfg.NumALU
+	loadLeft := c.cfg.NumLoadPorts
+	storeLeft := c.cfg.NumStorePorts
+	left := c.cfg.IssueWidth
+	for i := 0; i < c.rob.len() && left > 0; i++ {
+		u := c.rob.at(i)
+		if !u.renamed || u.issued {
+			continue
+		}
+		switch u.inst.Op.FU() {
+		case isa.FUALU:
+			if aluLeft == 0 {
+				continue
+			}
+		case isa.FULoad:
+			if loadLeft == 0 {
+				continue
+			}
+		case isa.FUStore:
+			if storeLeft == 0 {
+				continue
+			}
+		}
+		if !c.srcsReady(u) {
+			continue
+		}
+		if u.isLoad() && !c.scanLoadMayIssue(u) {
+			continue
+		}
+		if u.isLoad() {
+			// The load's address is computable now; a forwarding
+			// match whose data is still in flight stalls this load
+			// (and only this load).
+			a := u.ren.Srcs[0]
+			ea := program.EffAddr(u.inst, c.vals[a.Class][a.Tag])
+			if s := c.scanForwardFrom(u, ea); s != nil && !s.stDataRdy {
+				continue
+			}
+		}
+		c.issue(u)
+		left--
+		switch u.inst.Op.FU() {
+		case isa.FUALU:
+			aluLeft--
+		case isa.FULoad:
+			loadLeft--
+		case isa.FUStore:
+			storeLeft--
+		}
+	}
+}
+
+// scanCaptureStoreData performs the STD half of split stores: pending store
+// data whose producer has completed is captured into the store queue entry.
+func (c *CPU) scanCaptureStoreData() {
+	for _, s := range c.sq[c.sqHead:] {
+		if s.stDataRdy || !s.issued || s.squashed {
+			continue
+		}
+		a := s.ren.Srcs[1]
+		if !s.inst.Srcs[1].Valid() {
+			s.stDataRdy = true
+			s.out.StoreVal = 0
+			continue
+		}
+		if !c.ready[a.Class][a.Tag] {
+			continue
+		}
+		s.stData = c.vals[a.Class][a.Tag]
+		s.out.StoreVal = s.stData
+		s.stDataRdy = true
+		c.Engine.ConsumerIssued(a, c.cycle)
+		c.srcReads++
+	}
+}
+
+// scanLoadMayIssue enforces conservative memory ordering: a load issues only
+// once every older in-flight store has computed its address (so forwarding
+// is exact and no memory-order replay machinery is needed).
+func (c *CPU) scanLoadMayIssue(u *uop) bool {
+	for _, s := range c.sq[c.sqHead:] {
+		if s.seq >= u.seq {
+			break
+		}
+		if !s.issued {
+			return false
+		}
+	}
+	return true
+}
+
+// scanForwardFrom returns the youngest older store matching ea, if any.
+func (c *CPU) scanForwardFrom(u *uop, ea uint64) *uop {
+	var match *uop
+	for _, s := range c.sq[c.sqHead:] {
+		if s.seq >= u.seq {
+			break
+		}
+		if s.eaKnown && s.ea == ea {
+			match = s
+		}
+	}
+	return match
+}
+
+// scanCompleteStage applies writebacks for uops finishing this cycle, oldest
+// first, and performs misprediction recovery for the oldest mispredicting
+// control instruction.
+func (c *CPU) scanCompleteStage() {
+	var done []*uop
+	n := 0
+	for _, u := range c.inflight {
+		if u.squashed {
+			continue // drop squashed entries
+		}
+		if u.doneAt <= c.cycle {
+			done = append(done, u)
+		} else {
+			c.inflight[n] = u
+			n++
+		}
+	}
+	c.inflight = c.inflight[:n]
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+
+	for _, u := range done {
+		if u.squashed {
+			continue // squashed by an older recovery this same cycle
+		}
+		c.writeback(u)
+		if u.inst.Op.IsControl() && u.actualNext != u.predNext {
+			u.mispredict = true
+			c.recoverFrom(u)
+		}
+	}
+}

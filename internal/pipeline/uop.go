@@ -59,6 +59,17 @@ type uop struct {
 	precommitted bool
 	preAt        uint64 // cycle the precommit pointer passed this uop
 	squashed     bool
+
+	// Event scheduling (sched.go; all zero in scan mode). gen is bumped
+	// each time the uop recycles through the free list, invalidating any
+	// schedRef still held by a wait list, ready heap, wheel slot, or
+	// stall list.
+	gen        uint32
+	waitCnt    int8       // not-yet-ready register sources gating issue
+	stSrcRdy   bool       // store: the STD source register is ready
+	fwdNext    *uop       // store-forwarding hash chain (issued stores)
+	stallIssue []schedRef // loads waiting for this store's address issue
+	stallData  []schedRef // loads waiting for this store's data capture
 }
 
 func (u *uop) isLoad() bool  { return u.inst.Op == isa.OpLoad }
