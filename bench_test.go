@@ -23,6 +23,7 @@ import (
 	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/program"
+	"atr/internal/stats"
 	"atr/internal/workload"
 )
 
@@ -323,6 +324,91 @@ func BenchmarkFig10Throughput(b *testing.B) {
 			b.ReportMetric(t.CyclesPerSec(), "cycles/s")
 			b.ReportMetric(t.InstrPerSec(), "instr/s")
 		})
+	}
+}
+
+// BenchmarkCounters measures the bookkeeping hot paths that run once or
+// more per simulated instruction: pre-resolved handle increments (the path
+// the engine and pipeline use), the string-keyed compatibility path, and
+// folding one register lifetime into the ledger. All three must be
+// allocation-free — CI fails the build if any reports a nonzero allocs/op.
+func BenchmarkCounters(b *testing.B) {
+	b.Run("handle", func(b *testing.B) {
+		c := stats.NewCounters()
+		h := c.Handle("release.atr")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Add(h, 1)
+		}
+		if c.Value(h) != uint64(b.N) {
+			b.Fatalf("counter = %d, want %d", c.Value(h), b.N)
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		c := stats.NewCounters()
+		c.Inc("release.atr", 0) // intern outside the timed region
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc("release.atr", 1)
+		}
+	})
+	b.Run("ledger", func(b *testing.B) {
+		led := stats.NewLifetimeLedger()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := uint64(i)
+			l := stats.RegLifetime{
+				Renamed: c, LastConsumed: c + 3, Redefined: c + 4,
+				Precommitted: c + 6, Committed: c + 8,
+				Consumers: 2, Region: stats.RegionAtomic,
+			}
+			led.Record(&l)
+		}
+		if led.Completed() != uint64(b.N) {
+			b.Fatalf("ledger completed = %d, want %d", led.Completed(), b.N)
+		}
+	})
+}
+
+// BenchmarkSweepWarm measures experiment-runner throughput on a small
+// Fig 10-shaped grid (four integer profiles × two RF sizes × all schemes)
+// with a fresh runner per iteration: program generation is amortized by the
+// runner's shared program cache, so this tracks the sweep-side win of
+// generating each profile once instead of once per configuration.
+func BenchmarkSweepWarm(b *testing.B) {
+	var ps []workload.Profile
+	for _, p := range workload.Profiles() {
+		if p.Class == "int" {
+			ps = append(ps, p)
+			if len(ps) == 4 {
+				break
+			}
+		}
+	}
+	var cfgs []config.Config
+	for _, n := range []int{64, 224} {
+		for _, s := range config.Schemes() {
+			cfgs = append(cfgs, config.GoldenCove().WithPhysRegs(n).WithScheme(s))
+		}
+	}
+	b.ResetTimer()
+	var runs int
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(4000)
+		r.Prefetch(ps, cfgs)
+		var instr uint64
+		runs, instr, cycles = r.Totals()
+		_ = instr
+	}
+	if runs != len(ps)*len(cfgs) {
+		b.Fatalf("runs = %d, want %d", runs, len(ps)*len(cfgs))
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cycles)*float64(b.N)/sec, "cycles/s")
 	}
 }
 

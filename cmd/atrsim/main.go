@@ -10,12 +10,15 @@
 //	       [-regs N] [-n instructions] [-delay N] [-walk] [-sched event|scan] [-v]
 //	       [-trace out.jsonl] [-o3view out.o3] [-json run.json]
 //	       [-sample N] [-samples out.csv|out.json]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,6 +43,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable run manifest to this file")
 	sample := flag.Uint64("sample", 0, "interval sampler period in cycles (0 disables)")
 	samplesPath := flag.String("samples", "", "write the interval time series to this file (.csv or .json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if *list {
@@ -116,9 +121,24 @@ func main() {
 	if observer.Enabled() {
 		cpu.Observe(&observer)
 	}
+	// Profile only the simulation itself, not program generation or
+	// report/manifest writing, so hot-path work stands out.
+	if *cpuProfile != "" {
+		f := mustCreate(*cpuProfile)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
 	start := time.Now()
 	res := cpu.Run(*n)
 	elapsed := time.Since(start)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		writeHeapProfile(*memProfile)
+	}
 
 	if observer.Tracer != nil {
 		if err := observer.Tracer.Flush(); err != nil {
@@ -189,6 +209,16 @@ func mustCreate(path string) *os.File {
 	return f
 }
 
+func writeHeapProfile(path string) {
+	f := mustCreate(path)
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "atrsim: memprofile:", err)
+		os.Exit(1)
+	}
+}
+
 func writeSamples(s *obs.Sampler, path string) {
 	f := mustCreate(path)
 	defer f.Close()
@@ -230,16 +260,14 @@ func writeManifest(path string, p workload.Profile, static int, cfg config.Confi
 		GapRedefine: gr, GapConsume: gc, GapCommit: gm,
 		ConsumerMean: led.ConsumerHist.Mean(),
 	}
-	m.Counters = make(map[string]uint64)
-	for _, name := range cpu.Engine.Stats.Names() {
-		m.Counters[name] = cpu.Engine.Stats.Get(name)
-	}
-	for _, name := range cpu.Stats.Names() {
-		m.Counters[name] = cpu.Stats.Get(name)
+	m.Counters = cpu.Engine.Stats.Snapshot()
+	for name, v := range cpu.Stats.Snapshot() {
+		m.Counters[name] = v
 	}
 	m.Perf = obs.PerfInfo{
-		WallSeconds: elapsed.Seconds(),
-		InstrPerSec: float64(res.Committed) / elapsed.Seconds(),
+		WallSeconds:  elapsed.Seconds(),
+		InstrPerSec:  float64(res.Committed) / elapsed.Seconds(),
+		CyclesPerSec: float64(res.Cycles) / elapsed.Seconds(),
 	}
 	if observer.Sampler != nil {
 		m.Samples = observer.Sampler.Samples()

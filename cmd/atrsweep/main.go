@@ -4,6 +4,7 @@
 //
 //	atrsweep [-n instructions] [-fig 1|4|6|10|11|12|13|14|15|logic|all]
 //	         [-json results.json] [-sample N]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -json the typed results of every figure run are serialized to a
 // versioned sweep manifest, so sweeps become diffable artifacts.
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"atr/internal/experiments"
@@ -27,6 +30,11 @@ type sweepManifest struct {
 	Build   obs.BuildInfo  `json:"build"`
 	Instr   uint64         `json:"instr"`
 	Figures map[string]any `json:"figures"`
+	// Perf aggregates host-side throughput over the sweep's unique
+	// simulations (memoized reruns count once): cycles_per_sec is the
+	// headline number tracked across optimization passes.
+	Perf obs.PerfInfo `json:"perf"`
+	Runs int          `json:"runs"`
 }
 
 const (
@@ -39,7 +47,21 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (1,4,6,10,11,12,13,14,15,logic,ablations,all)")
 	jsonPath := flag.String("json", "", "write figure results to this file as a sweep manifest")
 	sample := flag.Uint64("sample", 0, "attach an interval sampler with this period to every run (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atrsweep:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsweep: cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
 
 	r := experiments.NewRunner(*n)
 	r.SampleInterval = *sample
@@ -84,7 +106,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start))
+	elapsed := time.Since(start)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atrsweep:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsweep: memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	runs, instr, cycles := r.Totals()
+	fmt.Fprintf(os.Stderr, "elapsed: %v (%d runs, %.0f cycles/s, %.0f instr/s)\n",
+		elapsed, runs,
+		float64(cycles)/elapsed.Seconds(), float64(instr)/elapsed.Seconds())
 
 	if *jsonPath != "" {
 		m := sweepManifest{
@@ -93,6 +135,12 @@ func main() {
 			Build:   obs.Build(),
 			Instr:   *n,
 			Figures: figures,
+			Runs:    runs,
+			Perf: obs.PerfInfo{
+				WallSeconds:  elapsed.Seconds(),
+				InstrPerSec:  float64(instr) / elapsed.Seconds(),
+				CyclesPerSec: float64(cycles) / elapsed.Seconds(),
+			},
 		}
 		f, err := os.Create(*jsonPath)
 		if err != nil {

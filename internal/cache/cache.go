@@ -6,15 +6,20 @@ package cache
 
 import "atr/internal/config"
 
-// Cache is one set-associative cache level with LRU replacement.
+// Cache is one set-associative cache level with LRU replacement. Recency is
+// tracked as a compact per-set way order (order[set*ways] is the MRU way,
+// the tail is the LRU victim) instead of per-line timestamps: the common hit
+// costs a single tag compare against the MRU way, and victim selection reads
+// the tail instead of scanning for a minimum stamp. The hit/miss stream and
+// eviction choices are identical to the timestamp formulation
+// (TestCacheMatchesStampReference proves it against a retained reference).
 type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
 	tags      []uint64 // sets*ways; 0 = invalid (tags stored with +1 bias)
-	lru       []uint64 // per-line last-use stamp
 	dirty     []bool
-	stamp     uint64
+	order     []uint8 // sets*ways; per-set permutation of ways, MRU first
 
 	Hits   uint64
 	Misses uint64
@@ -27,14 +32,20 @@ func New(cfg config.CacheConfig) *Cache {
 		shift++
 	}
 	sets := cfg.Sets()
-	return &Cache{
+	c := &Cache{
 		sets:      sets,
 		ways:      cfg.Ways,
 		lineShift: shift,
 		tags:      make([]uint64, sets*cfg.Ways),
-		lru:       make([]uint64, sets*cfg.Ways),
 		dirty:     make([]bool, sets*cfg.Ways),
+		order:     make([]uint8, sets*cfg.Ways),
 	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			c.order[s*cfg.Ways+w] = uint8(w)
+		}
+	}
+	return c
 }
 
 // LineAddr returns the line-aligned address for addr.
@@ -44,17 +55,30 @@ func (c *Cache) setOf(line uint64) int {
 	return int((line >> c.lineShift) % uint64(c.sets))
 }
 
-// Lookup probes for addr's line. A hit refreshes LRU state and sets the
-// dirty bit when write is true.
+// Lookup probes for addr's line. A hit refreshes the recency order and sets
+// the dirty bit when write is true.
 func (c *Cache) Lookup(addr uint64, write bool) bool {
 	line := c.LineAddr(addr)
 	base := c.setOf(line) * c.ways
-	c.stamp++
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line+1 {
-			c.lru[base+w] = c.stamp
+	ord := c.order[base : base+c.ways]
+	t := line + 1
+	// MRU fast path: locality makes the most-recently-used way the common
+	// case, so it costs one compare and no reordering.
+	if w := int(ord[0]); c.tags[base+w] == t {
+		if write {
+			c.dirty[base+w] = true
+		}
+		c.Hits++
+		return true
+	}
+	for k := 1; k < c.ways; k++ {
+		w := ord[k]
+		if c.tags[base+int(w)] == t {
+			// Move the hit way to the front of the recency order.
+			copy(ord[1:k+1], ord[:k])
+			ord[0] = w
 			if write {
-				c.dirty[base+w] = true
+				c.dirty[base+int(w)] = true
 			}
 			c.Hits++
 			return true
@@ -70,24 +94,31 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 func (c *Cache) Fill(addr uint64, write bool) (evicted uint64, wasDirty bool) {
 	line := c.LineAddr(addr)
 	base := c.setOf(line) * c.ways
-	victim := base
+	ord := c.order[base : base+c.ways]
+	// Victim: the lowest-index invalid way if one exists, else the LRU way
+	// at the tail of the recency order — the same choice the stamp-scan
+	// formulation made (invalid ways are exactly the never-filled ones).
+	victim := -1
 	for w := 0; w < c.ways; w++ {
 		if c.tags[base+w] == 0 {
-			victim = base + w
+			victim = w
 			break
 		}
-		if c.lru[base+w] < c.lru[victim] {
-			victim = base + w
-		}
 	}
-	if c.tags[victim] != 0 {
-		evicted = c.tags[victim] - 1
-		wasDirty = c.dirty[victim]
+	if victim < 0 {
+		victim = int(ord[c.ways-1])
+		evicted = c.tags[base+victim] - 1
+		wasDirty = c.dirty[base+victim]
 	}
-	c.stamp++
-	c.tags[victim] = line + 1
-	c.lru[victim] = c.stamp
-	c.dirty[victim] = write
+	c.tags[base+victim] = line + 1
+	c.dirty[base+victim] = write
+	// Move the filled way to the front of the recency order.
+	k := 0
+	for int(ord[k]) != victim {
+		k++
+	}
+	copy(ord[1:k+1], ord[:k])
+	ord[0] = uint8(victim)
 	return evicted, wasDirty
 }
 

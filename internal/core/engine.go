@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"atr/internal/config"
 	"atr/internal/isa"
@@ -120,6 +119,27 @@ type mapping struct {
 	reg isa.Reg
 }
 
+// relKind names the mechanism that freed a register. It indexes the
+// engine's pre-resolved counter handles and the tracer's scheme strings, so
+// the release hot path never builds or hashes a counter name.
+type relKind uint8
+
+const (
+	relATR relKind = iota
+	relER
+	relCommit
+	relFlush
+	numRelKinds
+)
+
+// relCounterNames are the release counters in relKind order; relSchemeNames
+// are the corresponding tracer scheme labels (the old "release." prefix
+// stripped once, here, instead of per event).
+var (
+	relCounterNames = [numRelKinds]string{"release.atr", "release.er", "release.commit", "release.flush"}
+	relSchemeNames  = [numRelKinds]string{"atr", "er", "commit", "flush"}
+)
+
 // claimState tracks one open atomic region for the interrupt-flush counters
 // (§4.1 option b). The paper's counter tracks commit-boundary straddles; the
 // precommit-boundary variant (allocPre/redefPre) additionally guards the
@@ -163,6 +183,14 @@ type Engine struct {
 
 	satCount int // consumer counter sentinel; <0 means unbounded
 
+	// Counter handles, resolved once at construction so the rename and
+	// release hot paths increment by slice index instead of map lookup.
+	hRenameAlloc stats.Handle
+	hMoveElim    stats.Handle
+	hClaims      stats.Handle
+	hBulkMarks   stats.Handle
+	hRelease     [numRelKinds]stats.Handle
+
 	// Free lists recycling the engine's only steady-state allocations:
 	// per-allocation lifetime records (recorded into the Ledger by value,
 	// so recycling after Record is safe) and SRT checkpoints.
@@ -201,6 +229,13 @@ func NewEngine(cfg config.Config) *Engine {
 		claims:        make(map[mapping]claimState),
 		earlyReleased: make(map[mapping]bool),
 		satCount:      cfg.MaxConsumerCount(),
+	}
+	e.hRenameAlloc = e.Stats.Handle("rename.alloc")
+	e.hMoveElim = e.Stats.Handle("rename.moveelim")
+	e.hClaims = e.Stats.Handle("atr.claims")
+	e.hBulkMarks = e.Stats.Handle("atr.bulkmarks")
+	for k := relKind(0); k < numRelKinds; k++ {
+		e.hRelease[k] = e.Stats.Handle(relCounterNames[k])
 	}
 	size := cfg.PhysRegs
 	if size == 0 {
@@ -333,7 +368,7 @@ func (e *Engine) renameDst(r isa.Reg, cycle uint64) DstAlloc {
 	b.srt[idx] = newTag
 	na := Alloc{Class: b.class, Tag: newTag, Gen: gen}
 	e.lives[na] = e.newLife(cycle)
-	e.Stats.Inc("rename.alloc", 1)
+	e.Stats.Add(e.hRenameAlloc, 1)
 
 	d := DstAlloc{Reg: r, New: na, Prev: prev, PrevValid: true}
 
@@ -373,7 +408,7 @@ func (e *Engine) maybeClaim(d *DstAlloc, prev Alloc, pp *preg, cycle uint64) {
 		e.openPre++
 	}
 	e.claims[mapping{prev, d.Reg}] = cs
-	e.Stats.Inc("atr.claims", 1)
+	e.Stats.Add(e.hClaims, 1)
 	if e.cfg.RedefineDelay == 0 {
 		pp.redefined = true
 		e.tryATRRelease(prev, cycle)
@@ -395,7 +430,7 @@ func (e *Engine) renameMove(r isa.Reg, src Alloc, cycle uint64) DstAlloc {
 	sp := &b.pregs[src.Tag]
 	sp.refs++
 	b.srt[idx] = src.Tag
-	e.Stats.Inc("rename.moveelim", 1)
+	e.Stats.Add(e.hMoveElim, 1)
 
 	d := DstAlloc{Reg: r, New: src, Prev: prev, PrevValid: true, Eliminated: true}
 
@@ -439,7 +474,7 @@ func (e *Engine) bulkMark(op isa.Op) {
 			}
 		}
 	}
-	e.Stats.Inc("atr.bulkmarks", 1)
+	e.Stats.Add(e.hBulkMarks, 1)
 }
 
 // registerConsumer increments the consumer counter of a at rename time,
@@ -549,7 +584,7 @@ func (e *Engine) tryATRRelease(a Alloc, cycle uint64) {
 		return
 	}
 	e.earlyReleased[mapping{a, p.claimArch}] = true
-	e.release(a, "release.atr", cycle)
+	e.release(a, relATR, cycle)
 }
 
 // tryERRelease frees an unclaimed register once its redefiner has
@@ -564,7 +599,7 @@ func (e *Engine) tryERRelease(a Alloc, cycle uint64) {
 		return
 	}
 	e.earlyReleased[mapping{a, p.erArch}] = true
-	e.release(a, "release.er", cycle)
+	e.release(a, relER, cycle)
 }
 
 // RedefinerPrecommitted notifies that the instruction whose rename produced
@@ -640,7 +675,7 @@ func (e *Engine) RedefinerCommitted(d DstAlloc, cycle uint64) {
 		b := &e.banks[d.Prev.Class]
 		p := &b.pregs[d.Prev.Tag]
 		if p.gen == d.Prev.Gen && !p.free {
-			e.release(d.Prev, "release.atr", cycle)
+			e.release(d.Prev, relATR, cycle)
 		}
 		return
 	}
@@ -651,7 +686,7 @@ func (e *Engine) RedefinerCommitted(d DstAlloc, cycle uint64) {
 	b := &e.banks[d.Prev.Class]
 	p := &b.pregs[d.Prev.Tag]
 	if p.gen == d.Prev.Gen && !p.free {
-		e.release(d.Prev, "release.commit", cycle)
+		e.release(d.Prev, relCommit, cycle)
 	}
 }
 
@@ -748,7 +783,7 @@ func (e *Engine) FlushInstr(out *RenameOut, cycle uint64) {
 		b := &e.banks[d.New.Class]
 		p := &b.pregs[d.New.Tag]
 		if p.gen == d.New.Gen && !p.free {
-			e.release(d.New, "release.flush", cycle)
+			e.release(d.New, relFlush, cycle)
 		}
 	}
 }
@@ -814,7 +849,7 @@ func (e *Engine) RestoreCheckpoint(cp *Checkpoint) {
 // when the last reference goes (move elimination shares registers across
 // mappings, each released independently — the paper's "decrement instead of
 // release" extension).
-func (e *Engine) release(a Alloc, counter string, cycle uint64) {
+func (e *Engine) release(a Alloc, kind relKind, cycle uint64) {
 	b := &e.banks[a.Class]
 	p := &b.pregs[a.Tag]
 	if p.free || p.refs <= 0 {
@@ -824,11 +859,11 @@ func (e *Engine) release(a Alloc, counter string, cycle uint64) {
 	p.claimed = false
 	p.redefined = false
 	p.redefPre = false
-	e.Stats.Inc(counter, 1)
+	e.Stats.Add(e.hRelease[kind], 1)
 	if e.trace != nil {
 		e.trace.Release(obs.ReleaseEvent{
 			Cycle:  cycle,
-			Scheme: strings.TrimPrefix(counter, "release."),
+			Scheme: relSchemeNames[kind],
 			Region: p.region.String(),
 			Class:  int(a.Class),
 			Tag:    int(a.Tag),

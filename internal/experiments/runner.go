@@ -15,6 +15,7 @@ import (
 	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/power"
+	"atr/internal/program"
 	"atr/internal/workload"
 )
 
@@ -58,6 +59,23 @@ type Runner struct {
 	cache map[string]*sync.Once
 	res   map[string]RunStats
 	sem   chan struct{}
+
+	// Shared immutable program cache: p.Generate() runs once per profile
+	// (not once per profile×config). Programs are static code images the
+	// pipeline never mutates, so concurrent runs share them freely.
+	progMu sync.Mutex
+	progs  map[string]*progEntry
+
+	// Aggregate totals over unique (non-memoized) simulations, for sweep
+	// throughput accounting; guarded by mu.
+	nRuns       int
+	totalInstr  uint64
+	totalCycles uint64
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *program.Program
 }
 
 // NewRunner creates a runner with the given per-run instruction budget.
@@ -70,15 +88,32 @@ func NewRunner(instr uint64) *Runner {
 		cache: make(map[string]*sync.Once),
 		res:   make(map[string]RunStats),
 		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		progs: make(map[string]*progEntry),
 	}
 }
 
+// key identifies one memoized run. Profiles are identified by name (the
+// workload package defines one profile per benchmark name); the config is
+// rendered with %+v so every field — including ones added in the future —
+// participates in the key and cannot silently alias two different runs
+// (TestKeyCoversEveryConfigField enforces this by reflection).
 func key(p workload.Profile, cfg config.Config) string {
-	return fmt.Sprintf("%s|%v|%d|%d|%d|%v|%v|%d|%d|%v|%v|%d",
-		p.Name, cfg.Scheme, cfg.PhysRegs, cfg.RedefineDelay,
-		cfg.ConsumerCounterBits, cfg.WalkRecovery, cfg.MemPrecommitAtExec,
-		cfg.InterruptInterval, int(cfg.InterruptMode), cfg.FaultRate,
-		cfg.MoveElimination, cfg.CheckpointBudget)
+	return fmt.Sprintf("%s|%+v", p.Name, cfg)
+}
+
+// Program returns p's generated program, shared across every run of the
+// same profile. The program is generated at most once per runner; callers
+// must treat it as read-only (program.Program is an immutable code image).
+func (r *Runner) Program(p workload.Profile) *program.Program {
+	r.progMu.Lock()
+	e, ok := r.progs[p.Name]
+	if !ok {
+		e = &progEntry{}
+		r.progs[p.Name] = e
+	}
+	r.progMu.Unlock()
+	e.once.Do(func() { e.prog = p.Generate() })
+	return e.prog
 }
 
 // Run simulates profile p under cfg (memoized).
@@ -95,14 +130,27 @@ func (r *Runner) Run(p workload.Profile, cfg config.Config) RunStats {
 	once.Do(func() {
 		r.sem <- struct{}{}
 		defer func() { <-r.sem }()
-		stats := simulate(p, cfg, r.Instr, r.SampleInterval)
+		stats := simulate(r.Program(p), cfg, r.Instr, r.SampleInterval)
 		r.mu.Lock()
 		r.res[k] = stats
+		r.nRuns++
+		r.totalInstr += stats.Committed
+		r.totalCycles += stats.Cycles
 		r.mu.Unlock()
 	})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.res[k]
+}
+
+// Totals returns the number of unique simulations executed and the summed
+// committed instructions and simulated cycles across them (memoized reruns
+// count once). Together with a caller-side wall clock this yields sweep
+// throughput in cycles/sec.
+func (r *Runner) Totals() (runs int, instr, cycles uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nRuns, r.totalInstr, r.totalCycles
 }
 
 // Prefetch launches the given runs in parallel and waits for completion.
@@ -120,8 +168,7 @@ func (r *Runner) Prefetch(ps []workload.Profile, cfgs []config.Config) {
 	wg.Wait()
 }
 
-func simulate(p workload.Profile, cfg config.Config, instr, sampleInterval uint64) RunStats {
-	prog := p.Generate()
+func simulate(prog *program.Program, cfg config.Config, instr, sampleInterval uint64) RunStats {
 	cpu := pipeline.New(cfg, prog)
 	var sampler *obs.Sampler
 	if sampleInterval > 0 {
@@ -158,16 +205,19 @@ func simulate(p workload.Profile, cfg config.Config, instr, sampleInterval uint6
 	return out
 }
 
-// geomean returns the geometric mean of xs (which must be positive).
+// geomean returns the geometric mean of xs (which must be positive). It is
+// computed in the log domain (mean of logs) so long lists of large or tiny
+// values cannot overflow or underflow the running product; a zero input
+// yields 0 (log 0 = -Inf, exp -Inf = 0), matching the product formulation.
 func geomean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	prod := 1.0
+	sum := 0.0
 	for _, x := range xs {
-		prod *= x
+		sum += math.Log(x)
 	}
-	return math.Pow(prod, 1/float64(len(xs)))
+	return math.Exp(sum / float64(len(xs)))
 }
 
 func mean(xs []float64) float64 {

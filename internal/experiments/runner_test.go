@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/obs"
+	"atr/internal/pipeline"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// runDigest simulates prog under cfg and returns the run summary, both
+// counter dumps, and a digest of the full JSONL event trace — the same
+// three observables the scheduler equivalence oracle compares.
+func runDigest(cfg config.Config, prog *program.Program, n uint64) (pipeline.Result, string, string) {
+	h := sha256.New()
+	cpu := pipeline.New(cfg, prog)
+	cpu.Observe(&obs.Observer{Tracer: obs.NewTracer(h, nil)})
+	res := cpu.Run(n)
+	return res, cpu.Engine.Stats.String() + cpu.Stats.String(), hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSharedProgramEquivalence proves the runner's shared program cache is
+// observationally invisible: a run on the cached program — including a
+// second run on the very same Program value — is bit-identical (Result,
+// every counter, full event trace) to a run on a freshly generated one.
+func TestSharedProgramEquivalence(t *testing.T) {
+	const instrs = 4000
+	p, _ := workload.ByName("xalancbmk")
+	r := testRunner()
+	shared := r.Program(p)
+	if shared != r.Program(p) {
+		t.Fatal("Program not cached: second call returned a different pointer")
+	}
+	cfg := config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(64)
+
+	fresRes, freshCtr, freshDig := runDigest(cfg, p.Generate(), instrs)
+	for i := 0; i < 2; i++ {
+		res, ctr, dig := runDigest(cfg, shared, instrs)
+		if res != fresRes {
+			t.Errorf("run %d on shared program: Result diverged\n shared: %+v\n fresh:  %+v", i, res, fresRes)
+		}
+		if ctr != freshCtr {
+			t.Errorf("run %d on shared program: counters diverged\n shared: %s\n fresh:  %s", i, ctr, freshCtr)
+		}
+		if dig != freshDig {
+			t.Errorf("run %d on shared program: trace digest diverged (%s != %s)", i, dig, freshDig)
+		}
+	}
+}
+
+// TestRunnerProgramCacheConcurrent hammers the program cache and the
+// memoized Run path from many goroutines (run under -race in CI): every
+// caller must observe the same Program pointer and identical results.
+func TestRunnerProgramCacheConcurrent(t *testing.T) {
+	r := NewRunner(2000)
+	ps := workload.Profiles()[:4]
+	cfgs := []config.Config{
+		config.GoldenCove().WithPhysRegs(64),
+		config.GoldenCove().WithPhysRegs(64).WithScheme(config.SchemeATR),
+	}
+	var wg sync.WaitGroup
+	progs := make([]*program.Program, 8*len(ps))
+	for g := 0; g < 8; g++ {
+		for pi, p := range ps {
+			wg.Add(1)
+			go func(g, pi int, p workload.Profile) {
+				defer wg.Done()
+				progs[g*len(ps)+pi] = r.Program(p)
+				for _, cfg := range cfgs {
+					r.Run(p, cfg)
+				}
+			}(g, pi, p)
+		}
+	}
+	wg.Wait()
+	for pi, p := range ps {
+		want := r.Program(p)
+		for g := 0; g < 8; g++ {
+			if progs[g*len(ps)+pi] != want {
+				t.Errorf("%s: goroutine %d saw a different Program pointer", p.Name, g)
+			}
+		}
+	}
+	if runs, instr, cycles := r.Totals(); runs != len(ps)*len(cfgs) || instr == 0 || cycles == 0 {
+		t.Errorf("Totals = (%d, %d, %d), want %d unique runs with nonzero work",
+			runs, instr, cycles, len(ps)*len(cfgs))
+	}
+}
+
+// perturb mutates the addressable leaf value v to something different, so
+// tests can prove the field is observable through key().
+func perturb(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	default:
+		panic(fmt.Sprintf("perturb: unsupported kind %v", v.Kind()))
+	}
+}
+
+// leafFields appends the paths of every settable leaf field of struct type
+// t, recursing into embedded struct fields (e.g. the per-level CacheConfig
+// blocks inside Config).
+func leafFields(t reflect.Type, prefix []int, out *[][]int) {
+	for i := 0; i < t.NumField(); i++ {
+		path := append(append([]int{}, prefix...), i)
+		if f := t.Field(i); f.Type.Kind() == reflect.Struct {
+			leafFields(f.Type, path, out)
+		} else {
+			*out = append(*out, path)
+		}
+	}
+}
+
+// TestKeyCoversEveryConfigField walks config.Config by reflection,
+// perturbs each leaf field in turn, and asserts the memoization key
+// changes. This pins the key() contract: no present or future Config field
+// may silently alias two different simulations onto one cached result.
+func TestKeyCoversEveryConfigField(t *testing.T) {
+	p, _ := workload.ByName("exchange2")
+	base := config.GoldenCove()
+	baseKey := key(p, base)
+
+	var paths [][]int
+	leafFields(reflect.TypeOf(base), nil, &paths)
+	if len(paths) < 20 {
+		t.Fatalf("only %d leaf fields found; reflection walk broken?", len(paths))
+	}
+	for _, path := range paths {
+		cfg := base
+		v := reflect.ValueOf(&cfg).Elem()
+		name := ""
+		tt := reflect.TypeOf(base)
+		for _, i := range path {
+			name += "." + tt.Field(i).Name
+			tt = tt.Field(i).Type
+			v = v.Field(i)
+		}
+		perturb(v)
+		if key(p, cfg) == baseKey {
+			t.Errorf("perturbing Config%s does not change the memoization key", name)
+		}
+	}
+
+	// The profile identity must participate too.
+	q, _ := workload.ByName("omnetpp")
+	if key(q, base) == baseKey {
+		t.Error("profile name does not change the memoization key")
+	}
+}
+
+// TestGeomeanExtremes pins the log-domain formulation: a running product
+// over these inputs would overflow (or underflow) float64 and return +Inf
+// or 0, but the mean of logs stays in range.
+func TestGeomeanExtremes(t *testing.T) {
+	big := make([]float64, 50)
+	tiny := make([]float64, 50)
+	for i := range big {
+		big[i] = 1e300 // product overflows after 2 elements
+		tiny[i] = 1e-300
+	}
+	if g := geomean(big); math.IsInf(g, 0) || math.Abs(g-1e300)/1e300 > 1e-9 {
+		t.Errorf("geomean of 1e300s = %v, want 1e300", g)
+	}
+	if g := geomean(tiny); g == 0 || math.Abs(g-1e-300)/1e-300 > 1e-9 {
+		t.Errorf("geomean of 1e-300s = %v, want 1e-300", g)
+	}
+	mixed := append(append([]float64{}, big...), tiny...)
+	if g := geomean(mixed); math.Abs(g-1) > 1e-9 {
+		t.Errorf("geomean of balanced extremes = %v, want 1", g)
+	}
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+}

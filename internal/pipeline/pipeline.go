@@ -81,9 +81,12 @@ type CPU struct {
 	// instruction (oracle comparison hook).
 	OnCommit func(program.Record)
 
-	// Counters.
-	Stats       *stats.Counters
-	mispredicts uint64
+	// Counters. hLSQForwards and hIntrDeferred are pre-resolved handles so
+	// the forwarding and interrupt-defer hot paths increment by index.
+	Stats         *stats.Counters
+	hLSQForwards  stats.Handle
+	hIntrDeferred stats.Handle
+	mispredicts   uint64
 	flushes     uint64
 	exceptions  uint64
 	interrupts  uint64
@@ -179,6 +182,8 @@ func NewWithScheduler(cfg config.Config, prog *program.Program, kind SchedulerKi
 		faulted: make(map[uint64]bool),
 		Stats:   stats.NewCounters(),
 	}
+	c.hLSQForwards = c.Stats.Handle("lsq.forwards")
+	c.hIntrDeferred = c.Stats.Handle("interrupt.deferred_cycles")
 	n := c.Engine.PhysRegsPerClass()
 	for cl := 0; cl < int(isa.NumClasses); cl++ {
 		c.vals[cl] = make([]uint64, n)
@@ -590,7 +595,7 @@ func (c *CPU) issue(u *uop) {
 		if s := c.forwardFrom(u, ea); s != nil {
 			loadVal = s.out.StoreVal
 			u.doneAt = c.cycle + uint64(c.cfg.L1D.Latency)
-			c.Stats.Inc("lsq.forwards", 1)
+			c.Stats.Add(c.hLSQForwards, 1)
 		} else {
 			loadVal = c.Data.Read(ea)
 			u.doneAt = c.Mem.AccessData(ea, false, c.cycle)
@@ -951,7 +956,7 @@ func (c *CPU) maybeInterrupt() {
 		// The precommitted prefix then drains before vectoring.
 		if !c.interruptFlushed {
 			if c.Engine.OpenPrecommitRegions() > 0 {
-				c.Stats.Inc("interrupt.deferred_cycles", 1)
+				c.Stats.Add(c.hIntrDeferred, 1)
 				return
 			}
 			if c.prePtr < c.rob.len() {

@@ -105,35 +105,85 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
+// Handle is a dense index into a Counters set, interned once per name.
+// Incrementing through a handle is a slice index — no string hashing and no
+// allocation — which is what the simulation hot path uses.
+type Handle int32
+
 // Counters is a named counter set with deterministic iteration order.
+// Names are interned into Handle indices backed by a flat value array; the
+// string-keyed Inc/Get survive as thin compatibility wrappers over the same
+// storage, so both views always agree.
 type Counters struct {
-	m map[string]uint64
+	vals  []uint64
+	names []string          // handle -> name
+	index map[string]Handle // name -> handle
 }
 
 // NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+func NewCounters() *Counters { return &Counters{index: make(map[string]Handle)} }
 
-// Inc adds delta to the named counter.
-func (c *Counters) Inc(name string, delta uint64) { c.m[name] += delta }
+// Handle interns name and returns its dense index. Callers on a hot path
+// resolve their handles once at construction and then use Add/Value.
+func (c *Counters) Handle(name string) Handle {
+	if h, ok := c.index[name]; ok {
+		return h
+	}
+	h := Handle(len(c.vals))
+	c.index[name] = h
+	c.names = append(c.names, name)
+	c.vals = append(c.vals, 0)
+	return h
+}
 
-// Get returns the value of the named counter (0 if never incremented).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+// Add adds delta to the counter identified by h (the hot path).
+func (c *Counters) Add(h Handle, delta uint64) { c.vals[h] += delta }
 
-// Names returns all counter names in sorted order.
+// Value returns the value of the counter identified by h.
+func (c *Counters) Value(h Handle) uint64 { return c.vals[h] }
+
+// Inc adds delta to the named counter (compatibility wrapper).
+func (c *Counters) Inc(name string, delta uint64) { c.vals[c.Handle(name)] += delta }
+
+// Get returns the value of the named counter (0 if never interned).
+func (c *Counters) Get(name string) uint64 {
+	if h, ok := c.index[name]; ok {
+		return c.vals[h]
+	}
+	return 0
+}
+
+// Names returns the names of all counters with a non-zero value, sorted.
+// Interned-but-never-incremented counters are omitted, so pre-resolving
+// handles at construction does not change the rendered counter set.
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for n := range c.m {
-		names = append(names, n)
+	names := make([]string, 0, len(c.names))
+	for h, n := range c.names {
+		if c.vals[h] != 0 {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
 }
 
-// String renders the counters one per line.
+// Snapshot returns the non-zero counters as a name->value map (for
+// manifests). The map is freshly allocated and independent of c.
+func (c *Counters) Snapshot() map[string]uint64 {
+	m := make(map[string]uint64, len(c.names))
+	for h, n := range c.names {
+		if c.vals[h] != 0 {
+			m[n] = c.vals[h]
+		}
+	}
+	return m
+}
+
+// String renders the counters one per line in sorted name order.
 func (c *Counters) String() string {
 	var b strings.Builder
 	for _, n := range c.Names() {
-		fmt.Fprintf(&b, "%-40s %d\n", n, c.m[n])
+		fmt.Fprintf(&b, "%-40s %d\n", n, c.vals[c.index[n]])
 	}
 	return b.String()
 }

@@ -77,6 +77,129 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+// TestCountersHandleStringInterop pins the compat contract: handle-based
+// and string-based access observe the same underlying counter.
+func TestCountersHandleStringInterop(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("release.atr")
+	if h != c.Handle("release.atr") {
+		t.Error("re-interning the same name returned a different handle")
+	}
+	c.Add(h, 7)
+	c.Inc("release.atr", 3)
+	if c.Get("release.atr") != 10 {
+		t.Errorf("Get = %d, want 10", c.Get("release.atr"))
+	}
+	if c.Value(h) != 10 {
+		t.Errorf("Value = %d, want 10", c.Value(h))
+	}
+	// Interned-but-never-incremented counters must stay invisible in the
+	// rendered set, so pre-resolving handles at engine construction cannot
+	// change manifests or -v output.
+	c.Handle("never.touched")
+	for _, n := range c.Names() {
+		if n == "never.touched" {
+			t.Error("zero-valued interned counter leaked into Names()")
+		}
+	}
+	if _, ok := c.Snapshot()["never.touched"]; ok {
+		t.Error("zero-valued interned counter leaked into Snapshot()")
+	}
+}
+
+// TestCountersMatchesMapReference drives Counters and a plain
+// map[string]uint64 (the original representation) with the same random
+// mixed stream of handle adds and string incs, then asserts every
+// observable — Get, sorted Names, Snapshot, the String rendering — matches
+// the map.
+func TestCountersMatchesMapReference(t *testing.T) {
+	names := []string{"a", "bb", "release.atr", "release.er", "rename.alloc",
+		"lsq.forwards", "x.y.z", "q"}
+	f := func(ops []uint16) bool {
+		c := NewCounters()
+		ref := make(map[string]uint64)
+		for _, op := range ops {
+			name := names[int(op)%len(names)]
+			delta := uint64(op >> 8)
+			if op&0x80 != 0 {
+				c.Add(c.Handle(name), delta)
+			} else {
+				c.Inc(name, delta)
+			}
+			ref[name] += delta
+		}
+		for n, v := range ref {
+			if c.Get(n) != v {
+				return false
+			}
+		}
+		snap := c.Snapshot()
+		for n, v := range ref {
+			if v == 0 {
+				continue
+			}
+			if snap[n] != v {
+				return false
+			}
+		}
+		for n := range snap {
+			if snap[n] != ref[n] {
+				return false
+			}
+		}
+		nonzero := 0
+		for _, v := range ref {
+			if v > 0 {
+				nonzero++
+			}
+		}
+		return len(c.Names()) == nonzero && len(snap) == nonzero
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountersSnapshotDeterministic asserts the rendered counter set is a
+// pure function of the counter values: interning order, increment order,
+// and access pattern must not leak into Names(), Snapshot(), or String().
+func TestCountersSnapshotDeterministic(t *testing.T) {
+	names := []string{"zeta", "alpha", "mid.point", "release.atr", "beta"}
+	build := func(order []int, viaHandle bool) *Counters {
+		c := NewCounters()
+		for _, i := range order {
+			if viaHandle {
+				c.Add(c.Handle(names[i]), uint64(10+i))
+			} else {
+				c.Inc(names[i], uint64(10+i))
+			}
+		}
+		return c
+	}
+	a := build([]int{0, 1, 2, 3, 4}, true)
+	b := build([]int{4, 3, 2, 1, 0}, false)
+	if a.String() != b.String() {
+		t.Errorf("String depends on insertion order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		t.Fatalf("Names lengths differ: %v vs %v", an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Errorf("Names[%d]: %q vs %q", i, an[i], bn[i])
+		}
+		if i > 0 && an[i-1] >= an[i] {
+			t.Errorf("Names not sorted: %q before %q", an[i-1], an[i])
+		}
+	}
+	snap := a.Snapshot()
+	snap["alpha"] = 999 // Snapshot must be a copy, not a view
+	if a.Get("alpha") == 999 {
+		t.Error("mutating a Snapshot changed the live counters")
+	}
+}
+
 func TestLedgerStateFractions(t *testing.T) {
 	g := NewLifetimeLedger()
 	// Renamed at 100, last consumed 110, redefined 105, precommit 120,
