@@ -1,29 +1,48 @@
-// Command atrsweep regenerates the paper's evaluation figures.
+// Command atrsweep regenerates the paper's evaluation figures and executes
+// declared sweep grids on the sharded fault-tolerant sweep engine.
 //
-// Usage:
+// Figure mode (the default):
 //
 //	atrsweep [-n instructions] [-fig 1|4|6|10|11|12|13|14|15|logic|all]
-//	         [-json results.json] [-sample N]
+//	         [-workers N] [-json results.json] [-sample N]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// With -json the typed results of every figure run are serialized to a
-// versioned sweep manifest, so sweeps become diffable artifacts.
+// Grid mode, selected by -grid:
+//
+//	atrsweep -grid fig10|full|micro [-n instructions] [-workers N]
+//	         [-out manifest.json] [-journal sweep.jsonl] [-resume sweep.jsonl]
+//	         [-retries N] [-backoff d] [-timeout d] [-perf perf.json]
+//	         [-inject-panic k]
+//
+// Grid mode writes a deterministic result manifest: the same grid produces
+// byte-identical -out files regardless of worker count or resume splits.
+// The -journal file records every completed run as JSONL; a killed sweep
+// restarted with -resume re-executes only the missing runs. Scheduling
+// telemetry (wall clock, retries, per-shard throughput) varies run to run
+// and goes to -perf, never into the manifest. Exit status: 0 all runs
+// succeeded, 3 the sweep completed with recorded failures, 1 on
+// cancellation or operational error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"atr/internal/experiments"
 	"atr/internal/obs"
+	"atr/internal/sweep"
 )
 
-// sweepManifest is the machine-readable record of one atrsweep invocation.
+// sweepManifest is the machine-readable record of one figure-mode run.
 type sweepManifest struct {
 	Schema  string         `json:"schema"`
 	Version int            `json:"version"`
@@ -42,6 +61,16 @@ const (
 	sweepVersion = 1
 )
 
+// perfManifest is grid mode's scheduling telemetry artifact: everything
+// nondeterministic about a sweep execution, kept out of the result manifest
+// so the latter stays byte-comparable.
+type perfManifest struct {
+	Schema  string        `json:"schema"`
+	Version int           `json:"version"`
+	Build   obs.BuildInfo `json:"build"`
+	Sweep   obs.SweepInfo `json:"sweep"`
+}
+
 func main() {
 	n := flag.Uint64("n", 40000, "instructions per simulation")
 	fig := flag.String("fig", "all", "figure to regenerate (1,4,6,10,11,12,13,14,15,logic,ablations,all)")
@@ -49,7 +78,23 @@ func main() {
 	sample := flag.Uint64("sample", 0, "attach an interval sampler with this period to every run (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
+	workers := flag.Int("workers", 0, "worker pool width (0 selects GOMAXPROCS)")
+
+	grid := flag.String("grid", "", "run a sweep grid instead of figures (fig10, full, micro)")
+	out := flag.String("out", "", "grid mode: write the deterministic result manifest here (default stdout)")
+	journalPath := flag.String("journal", "", "grid mode: append a JSONL journal of completed runs to this file")
+	resumePath := flag.String("resume", "", "grid mode: resume from this journal, re-executing only missing runs")
+	retries := flag.Int("retries", 1, "grid mode: retries per failing run before recording the failure")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "grid mode: first-retry backoff (doubles per retry)")
+	timeout := flag.Duration("timeout", 0, "grid mode: abort the sweep after this long (0 disables)")
+	perfPath := flag.String("perf", "", "grid mode: write scheduling telemetry (wall clock, shards) to this file")
+	injectPanic := flag.Int("inject-panic", 0, "grid mode: poison the k-th grid run (1-based) so every attempt panics")
 	flag.Parse()
+
+	if *grid != "" {
+		os.Exit(runGrid(*grid, *n, *workers, *out, *journalPath, *resumePath,
+			*retries, *backoff, *timeout, *perfPath, *injectPanic))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -65,6 +110,7 @@ func main() {
 
 	r := experiments.NewRunner(*n)
 	r.SampleInterval = *sample
+	r.Workers = *workers
 	w := os.Stdout
 	figures := make(map[string]any)
 	start := time.Now()
@@ -154,5 +200,126 @@ func main() {
 			fmt.Fprintln(os.Stderr, "atrsweep:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runGrid executes one sweep grid on the engine and returns the process
+// exit code.
+func runGrid(name string, instr uint64, workers int, out, journalPath, resumePath string,
+	retries int, backoff, timeout time.Duration, perfPath string, injectPanic int) int {
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "atrsweep:", err)
+		return 1
+	}
+
+	g, err := sweep.GridByName(name, instr)
+	if err != nil {
+		return fail(err)
+	}
+
+	opts := sweep.Options{
+		Workers:     workers,
+		Retries:     retries,
+		Backoff:     backoff,
+		InjectPanic: injectPanic,
+	}
+
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return fail(err)
+		}
+		j, jerr := sweep.LoadJournal(f)
+		f.Close()
+		if jerr != nil {
+			return fail(fmt.Errorf("resume %s: %w", resumePath, jerr))
+		}
+		if j.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "atrsweep: resume: dropped %d unreadable journal line(s)\n", j.Dropped)
+		}
+		opts.Resume = j
+	}
+	if journalPath != "" {
+		f, err := os.Create(journalPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		opts.Journal = f
+	}
+
+	opts.OnProgress = func(p obs.SweepProgress) {
+		status := "ok"
+		if p.Err != "" {
+			status = "FAIL " + p.Err
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s (worker %d): %s\n",
+			p.Done+p.Failed, p.Total, p.Bench, p.Scheme, p.Worker, status)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	eng := sweep.New(opts)
+	m, err := eng.Execute(ctx, g, nil)
+	info := eng.Info()
+	printSweepSummary(info)
+
+	if perfPath != "" {
+		p := perfManifest{Schema: "atr-sweep-perf", Version: 1, Build: obs.Build(), Sweep: info}
+		f, ferr := os.Create(perfPath)
+		if ferr != nil {
+			return fail(ferr)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if eerr := enc.Encode(p); eerr != nil {
+			f.Close()
+			return fail(eerr)
+		}
+		f.Close()
+	}
+
+	if err != nil {
+		return fail(fmt.Errorf("sweep aborted: %w (journal holds completed runs; restart with -resume)", err))
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, ferr := os.Create(out)
+		if ferr != nil {
+			return fail(ferr)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.Encode(w); err != nil {
+		return fail(err)
+	}
+
+	if m.Totals.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "atrsweep: %d of %d runs failed\n", m.Totals.Failed, len(m.Runs))
+		return 3
+	}
+	return 0
+}
+
+func printSweepSummary(info obs.SweepInfo) {
+	fmt.Fprintf(os.Stderr,
+		"sweep: %d/%d done, %d failed, %d retried, %d resumed, %d journal flushes, %.2fs wall, %.0f cycles/s\n",
+		info.Done, info.Total, info.Failed, info.Retried, info.Resumed,
+		info.JournalFlushes, info.WallSeconds, info.CyclesPerSec)
+	for _, s := range info.Shards {
+		if s.Runs == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  shard %d: %d runs (%d failed), %.2fs busy, %.0f cycles/s\n",
+			s.Worker, s.Runs, s.Failed, s.BusySeconds, s.CyclesPerSec)
 	}
 }

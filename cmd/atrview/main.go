@@ -1,12 +1,14 @@
 // Command atrview summarizes observability artifacts without leaving the
 // terminal: per-stage latency histograms and top stall reasons from a JSONL
-// pipeline event trace, and validation plus a one-screen digest of a run
-// manifest.
+// pipeline event trace, validation plus a one-screen digest of a run
+// manifest, and inspection of sweep journals and grid manifests.
 //
 // Usage:
 //
 //	atrview -trace out.jsonl
 //	atrview -manifest run.json
+//	atrview -journal sweep.jsonl
+//	atrview -sweep grid.json
 package main
 
 import (
@@ -17,15 +19,18 @@ import (
 
 	"atr/internal/obs"
 	"atr/internal/stats"
+	"atr/internal/sweep"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "summarize a JSONL pipeline event trace")
 	manifestPath := flag.String("manifest", "", "validate and summarize a run manifest")
+	journalPath := flag.String("journal", "", "summarize a sweep journal (resume state, failures)")
+	sweepPath := flag.String("sweep", "", "validate and summarize a sweep grid manifest")
 	flag.Parse()
 
-	if *tracePath == "" && *manifestPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: atrview -trace out.jsonl | -manifest run.json")
+	if *tracePath == "" && *manifestPath == "" && *journalPath == "" && *sweepPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: atrview -trace out.jsonl | -manifest run.json | -journal sweep.jsonl | -sweep grid.json")
 		os.Exit(2)
 	}
 	if *tracePath != "" {
@@ -33,6 +38,77 @@ func main() {
 	}
 	if *manifestPath != "" {
 		summarizeManifest(*manifestPath)
+	}
+	if *journalPath != "" {
+		summarizeJournal(*journalPath)
+	}
+	if *sweepPath != "" {
+		summarizeSweep(*sweepPath)
+	}
+}
+
+// summarizeJournal answers the mid-sweep operator questions: how far did
+// the sweep get, what failed, and is the file damaged.
+func summarizeJournal(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	j, err := sweep.LoadJournal(f)
+	if err != nil {
+		die(err)
+	}
+	done, failed := 0, 0
+	var failures []sweep.Record
+	for _, r := range j.Records {
+		if r.Err == "" {
+			done++
+		} else {
+			failed++
+			failures = append(failures, r)
+		}
+	}
+	fmt.Printf("journal        %s (grid %s, %d instr/run)\n", path, j.Grid, j.Instr)
+	fmt.Printf("progress       %d/%d runs journaled (%d ok, %d failed)\n",
+		done+failed, j.Total, done, failed)
+	if j.Dropped > 0 {
+		fmt.Printf("damage         %d unreadable line(s) dropped (torn tail writes are expected after a kill)\n", j.Dropped)
+	}
+	if rem := j.Total - done; rem > 0 {
+		fmt.Printf("resume         %d run(s) still to execute (-resume %s)\n", rem, path)
+	} else {
+		fmt.Printf("resume         complete; a resumed sweep would re-execute nothing\n")
+	}
+	sort.Slice(failures, func(i, k int) bool { return failures[i].Seq < failures[k].Seq })
+	for _, r := range failures {
+		fmt.Printf("  FAIL run %d %s/%s prf=%d after %d attempt(s): %s\n",
+			r.Seq, r.Bench, r.Scheme, r.PhysRegs, r.Attempts, r.Err)
+	}
+}
+
+// summarizeSweep validates a grid manifest and prints its digest.
+func summarizeSweep(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	m, err := sweep.DecodeManifest(f)
+	if err != nil {
+		die(err)
+	}
+	g := m.Grid
+	fmt.Printf("sweep          %s (schema %s v%d, valid)\n", path, m.Schema, m.Version)
+	fmt.Printf("grid           %s: %d profiles x %d RF sizes x %d schemes = %d runs, %d instr/run\n",
+		g.Name, len(g.Profiles), len(g.PhysRegs), len(g.Schemes), g.Total, g.Instr)
+	fmt.Printf("totals         %d ok, %d failed; %d instructions, %d cycles\n",
+		m.Totals.Done, m.Totals.Failed, m.Totals.Committed, m.Totals.Cycles)
+	for _, r := range m.Runs {
+		if r.Err != "" {
+			fmt.Printf("  FAIL run %d %s/%s prf=%d after %d attempt(s): %s\n",
+				r.Seq, r.Bench, r.Scheme, r.PhysRegs, r.Attempts, r.Err)
+		}
 	}
 }
 

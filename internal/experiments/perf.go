@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
-	"atr/internal/config"
 	"atr/internal/pipeline"
-	"atr/internal/workload"
+	"atr/internal/sweep"
 )
 
 // Throughput summarizes the wall-clock performance of a serial simulation
@@ -35,25 +35,23 @@ func (t Throughput) InstrPerSec() float64 {
 
 // SchedulerSweep executes the Figure 10 sweep grid — every benchmark profile
 // at both RF sizes under every release scheme, on the ROB-512 Golden Cove
-// configuration — serially with the given scheduler implementation, and
-// returns the aggregate simulator throughput. Serial execution keeps the
-// comparison between scheduler implementations free of parallel-scheduling
-// noise; instr is the per-run instruction budget.
+// configuration — through the sweep engine pinned to one worker with the
+// given scheduler implementation, and returns the aggregate simulator
+// throughput. Serial execution keeps the comparison between scheduler
+// implementations free of parallel-scheduling noise; instr is the per-run
+// instruction budget.
 func SchedulerSweep(kind pipeline.SchedulerKind, instr uint64) Throughput {
-	var t Throughput
+	g := sweep.Fig10Grid(instr)
+	eng := sweep.New(sweep.Options{Workers: 1})
 	start := time.Now()
-	for _, p := range workload.Profiles() {
-		prog := p.Generate()
-		for _, n := range []int{64, 224} {
-			for _, s := range config.Schemes() {
-				cfg := base().WithPhysRegs(n).WithScheme(s)
-				res := pipeline.NewWithScheduler(cfg, prog, kind).Run(instr)
-				t.Runs++
-				t.Instr += res.Committed
-				t.Cycles += res.Cycles
-			}
-		}
+	m, err := eng.Execute(context.Background(), g, sweep.SimScheduler(kind, g.Instr))
+	if err != nil {
+		return Throughput{}
 	}
-	t.Wall = time.Since(start).Seconds()
-	return t
+	return Throughput{
+		Runs:   m.Totals.Done + m.Totals.Failed,
+		Instr:  m.Totals.Committed,
+		Cycles: m.Totals.Cycles,
+		Wall:   time.Since(start).Seconds(),
+	}
 }

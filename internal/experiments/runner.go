@@ -6,16 +6,18 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"atr/internal/config"
 	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/power"
 	"atr/internal/program"
+	"atr/internal/sweep"
 	"atr/internal/workload"
 )
 
@@ -55,6 +57,16 @@ type Runner struct {
 	// the series in RunStats.Samples. Set it before the first Run.
 	SampleInterval uint64
 
+	// Workers bounds Prefetch's concurrency (<= 0 selects GOMAXPROCS).
+	// Set it before the first Prefetch.
+	Workers int
+
+	// Prefetch concurrency accounting: inFlight is the number of runs
+	// currently executing on the pool, maxInFlight its high-water mark.
+	// TestPrefetchWorkerBound pins Prefetch to the worker bound with it.
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+
 	mu    sync.Mutex
 	cache map[string]*sync.Once
 	res   map[string]RunStats
@@ -92,13 +104,14 @@ func NewRunner(instr uint64) *Runner {
 	}
 }
 
-// key identifies one memoized run. Profiles are identified by name (the
-// workload package defines one profile per benchmark name); the config is
-// rendered with %+v so every field — including ones added in the future —
-// participates in the key and cannot silently alias two different runs
-// (TestKeyCoversEveryConfigField enforces this by reflection).
+// key identifies one memoized run. It is the sweep engine's canonical
+// memoization key (profile name plus the %+v rendering of the config), so
+// every Config field — including ones added in the future — participates
+// and cannot silently alias two different runs, and so sweep journals are
+// keyed identically to the runner's cache
+// (TestKeyCoversEveryConfigField enforces the coverage by reflection).
 func key(p workload.Profile, cfg config.Config) string {
-	return fmt.Sprintf("%s|%+v", p.Name, cfg)
+	return sweep.MemoKey(p, cfg)
 }
 
 // Program returns p's generated program, shared across every run of the
@@ -153,19 +166,33 @@ func (r *Runner) Totals() (runs int, instr, cycles uint64) {
 	return r.nRuns, r.totalInstr, r.totalCycles
 }
 
-// Prefetch launches the given runs in parallel and waits for completion.
+// Prefetch executes the (profile × config) cross product in parallel on a
+// bounded work-stealing pool (Workers wide) and waits for completion.
+// Unlike the old per-run goroutine fan-out, at most Workers runs are in
+// flight at any instant regardless of grid size.
 func (r *Runner) Prefetch(ps []workload.Profile, cfgs []config.Config) {
-	var wg sync.WaitGroup
+	type unit struct {
+		p   workload.Profile
+		cfg config.Config
+	}
+	units := make([]unit, 0, len(ps)*len(cfgs))
 	for _, p := range ps {
 		for _, cfg := range cfgs {
-			wg.Add(1)
-			go func(p workload.Profile, cfg config.Config) {
-				defer wg.Done()
-				r.Run(p, cfg)
-			}(p, cfg)
+			units = append(units, unit{p, cfg})
 		}
 	}
-	wg.Wait()
+	pool := sweep.NewPool(r.Workers)
+	pool.ForEach(context.Background(), len(units), func(_, i int) {
+		n := r.inFlight.Add(1)
+		for {
+			h := r.maxInFlight.Load()
+			if n <= h || r.maxInFlight.CompareAndSwap(h, n) {
+				break
+			}
+		}
+		r.Run(units[i].p, units[i].cfg)
+		r.inFlight.Add(-1)
+	})
 }
 
 func simulate(prog *program.Program, cfg config.Config, instr, sampleInterval uint64) RunStats {

@@ -1,0 +1,44 @@
+package obs
+
+// SweepProgress is one live progress tick of a grid sweep, emitted after
+// every completed (or finally failed) run. Counts are cumulative.
+type SweepProgress struct {
+	Done    int // runs completed successfully (including resumed)
+	Failed  int // runs that exhausted their retries
+	Retried int // retry attempts consumed so far
+	Resumed int // runs satisfied from the resume journal
+	Total   int // grid size
+	Bench   string
+	Scheme  string
+	Worker  int
+	Err     string // failure message of the run that just finished, if any
+}
+
+// ShardStat is one worker's contribution to a sweep: the per-shard
+// throughput view of the engine.
+type ShardStat struct {
+	Worker       int     `json:"worker"`
+	Runs         int     `json:"runs"`
+	Failed       int     `json:"failed,omitempty"`
+	Committed    uint64  `json:"committed"`
+	Cycles       uint64  `json:"cycles"`
+	BusySeconds  float64 `json:"busy_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// SweepInfo summarizes the scheduling side of one sweep execution: outcome
+// counts, journal activity, and per-shard throughput. Unlike the sweep's
+// deterministic result manifest, this is wall-clock data and varies run to
+// run; it belongs in the observability manifest, not the results artifact.
+type SweepInfo struct {
+	Workers        int         `json:"workers"`
+	Total          int         `json:"total"`
+	Done           int         `json:"done"`
+	Failed         int         `json:"failed"`
+	Retried        int         `json:"retried"`
+	Resumed        int         `json:"resumed"`
+	JournalFlushes int         `json:"journal_flushes"`
+	WallSeconds    float64     `json:"wall_seconds"`
+	CyclesPerSec   float64     `json:"cycles_per_sec"` // executed (non-resumed) runs only
+	Shards         []ShardStat `json:"shards,omitempty"`
+}

@@ -1,0 +1,31 @@
+package pipeline
+
+import (
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/workload"
+)
+
+// TestSchemeArchEquivalence is the full differential battery: every one of
+// the 23 benchmark profiles, under every release scheme, must commit an
+// instruction stream architecturally identical to the in-order emulator.
+// TestEquivalenceAllSchemes covers one micro workload densely; this table
+// covers the whole benchmark suite — pointer chasers, FP expression trees,
+// indirect-heavy interpreters — where scheme-specific release bugs that a
+// single workload shape cannot provoke would surface.
+func TestSchemeArchEquivalence(t *testing.T) {
+	for _, p := range workload.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := p.Generate()
+			for _, scheme := range config.Schemes() {
+				scheme := scheme
+				t.Run(scheme.String(), func(t *testing.T) {
+					runAndCompare(t, testConfig().WithScheme(scheme), prog, 2500)
+				})
+			}
+		})
+	}
+}

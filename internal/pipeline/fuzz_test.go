@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/workload"
+)
+
+// FuzzSchemeDifferential is the differential fuzz battery for the release
+// schemes: it generates a program from arbitrary profile parameters, picks
+// a release scheme and register-file size from the input, and requires the
+// out-of-order core to commit the exact record stream of the in-order
+// oracle. Any unsafe early release — a register freed while a consumer or
+// a squashed-path redefinition still needs it — corrupts a value and fails
+// the comparison. The target shares FuzzProgramBuild's signature (the
+// scheme rides in the spare bits of flags), so corpus files are
+// interchangeable across all three fuzz targets.
+func FuzzSchemeDifferential(f *testing.F) {
+	for i, p := range workload.Profiles() {
+		seed, ws, a := workload.FuzzArgs(p)
+		// Spread the seed corpus across schemes and RF sizes.
+		a[18] |= uint16(i%8) << 3
+		f.Add(seed, ws,
+			a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], a[8], a[9],
+			a[10], a[11], a[12], a[13], a[14], a[15], a[16], a[17], a[18])
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, ws uint32,
+		load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+		branchEvery, regWindow, loops, trip, blockLen, funcs, flags uint16) {
+
+		p := workload.FuzzProfile(seed, ws,
+			load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+			branchEvery, regWindow, loops, trip, blockLen, funcs, flags)
+		prog := p.Generate()
+
+		schemes := config.Schemes()
+		scheme := schemes[int(flags>>3)%len(schemes)]
+		physRegs := 96
+		if flags&(1<<5) != 0 {
+			physRegs = 64
+		}
+		cfg := config.GoldenCove().WithPhysRegs(physRegs).WithScheme(scheme)
+
+		runAndCompare(t, cfg, prog, 1200)
+	})
+}

@@ -1,0 +1,95 @@
+package program_test
+
+import (
+	"testing"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// FuzzEmulator drives the in-order architectural oracle across generated
+// programs: for any profile the emulator must halt within its step bound or
+// keep executing valid PCs, thread a consistent PC chain through its commit
+// records, keep every memory access inside the instruction's declared
+// window, touch no more memory words than it executed stores, and replay
+// bit-identically from a fresh emulator. The target shares FuzzProgramBuild's
+// signature, so its seed corpus files are interchangeable.
+func FuzzEmulator(f *testing.F) {
+	for _, p := range workload.Profiles() {
+		seed, ws, a := workload.FuzzArgs(p)
+		f.Add(seed, ws,
+			a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], a[8], a[9],
+			a[10], a[11], a[12], a[13], a[14], a[15], a[16], a[17], a[18])
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, ws uint32,
+		load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+		branchEvery, regWindow, loops, trip, blockLen, funcs, flags uint16) {
+
+		p := workload.FuzzProfile(seed, ws,
+			load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+			branchEvery, regWindow, loops, trip, blockLen, funcs, flags)
+		prog := p.Generate()
+		bound := 2000 + int(seed%6000)
+
+		e := program.NewEmulator(prog)
+		recs := e.Run(bound)
+
+		if len(recs) > bound {
+			t.Fatalf("emulator returned %d records for a bound of %d", len(recs), bound)
+		}
+		if got := e.Steps(); got != uint64(len(recs)) {
+			t.Fatalf("Steps() = %d, but %d records returned", got, len(recs))
+		}
+		if len(recs) < bound && !e.Done {
+			t.Fatalf("emulator stopped after %d < %d steps without halting", len(recs), bound)
+		}
+		if e.Done && prog.ValidPC(e.PC) {
+			t.Fatalf("emulator done but PC %d is still inside the program", e.PC)
+		}
+
+		stores := 0
+		for i, rec := range recs {
+			if !prog.ValidPC(rec.PC) {
+				t.Fatalf("record %d committed PC %d outside program of %d instructions",
+					i, rec.PC, prog.Len())
+			}
+			if i == 0 && rec.PC != 0 {
+				t.Fatalf("first committed PC = %d, want 0", rec.PC)
+			}
+			if i+1 < len(recs) && recs[i+1].PC != rec.NextPC {
+				t.Fatalf("record %d: NextPC %d but record %d committed at PC %d",
+					i, rec.NextPC, i+1, recs[i+1].PC)
+			}
+			in := prog.At(rec.PC)
+			if in.Op.IsMem() && in.Span > 8 {
+				if rec.EA < in.Target || rec.EA >= in.Target+in.Span {
+					t.Fatalf("record %d: %v EA %#x outside [%#x, %#x)",
+						i, in.Op, rec.EA, in.Target, in.Target+in.Span)
+				}
+				if rec.EA%8 != 0 {
+					t.Fatalf("record %d: unaligned EA %#x", i, rec.EA)
+				}
+			}
+			if in.Op == isa.OpStore {
+				stores++
+			}
+		}
+		if w := e.Mem.Written(); w > stores {
+			t.Fatalf("memory holds %d written words after only %d stores", w, stores)
+		}
+
+		// The oracle must be deterministic: a fresh emulator over the same
+		// program replays the exact record stream.
+		again := program.NewEmulator(prog).Run(bound)
+		if len(again) != len(recs) {
+			t.Fatalf("replay committed %d records, first run %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("replay diverged at record %d:\n first %+v\nreplay %+v",
+					i, recs[i], again[i])
+			}
+		}
+	})
+}

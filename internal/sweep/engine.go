@@ -1,0 +1,304 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"atr/internal/obs"
+	"atr/internal/pipeline"
+)
+
+// Options configures a sweep engine.
+type Options struct {
+	// Workers bounds concurrent runs; <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// Retries is the number of re-executions granted to a failing run
+	// beyond its first attempt; a run is recorded as failed only after
+	// 1+Retries attempts.
+	Retries int
+
+	// Backoff is the sleep before the first retry, doubling per retry.
+	// Zero retries immediately.
+	Backoff time.Duration
+
+	// Journal, when non-nil, receives the JSONL journal: a header line
+	// binding the journal to the grid, then one line per completed run
+	// (resumed runs are re-journaled up front, so a journal is always a
+	// complete account of sweep state and can itself be resumed from).
+	Journal io.Writer
+
+	// Resume, when non-nil, supplies completed runs from a previous
+	// journal; successful records whose keys appear in the grid are not
+	// re-executed. Failed records are re-executed. The journal must have
+	// been written for the same grid name and instruction budget.
+	Resume *Journal
+
+	// OnProgress, when non-nil, is called after every completed run with
+	// cumulative counts. It is called from worker goroutines, serialized
+	// by the engine.
+	OnProgress func(obs.SweepProgress)
+
+	// InjectPanic, when positive, poisons the grid's k-th run (1-based,
+	// grid order): every attempt of that run panics inside the worker.
+	// The panic is recovered, retried, and recorded as a failed run — the
+	// fault-injection hook proving one poisoned run cannot kill a sweep.
+	InjectPanic int
+}
+
+// Engine executes sweep grids. One engine may be reused; each Execute
+// call's scheduling summary replaces Info.
+type Engine struct {
+	opts Options
+	pool *Pool
+
+	mu      sync.Mutex
+	rec     []*Record
+	shards  []obs.ShardStat
+	info    obs.SweepInfo
+	journal io.Writer
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	return &Engine{opts: opts, pool: NewPool(opts.Workers)}
+}
+
+// Info returns the scheduling summary of the most recent Execute call:
+// outcome counts, journal flushes, wall clock, and per-shard throughput.
+func (e *Engine) Info() obs.SweepInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.info
+}
+
+// Execute runs every unit of g that the resume journal does not already
+// cover, using fn (nil selects Sim(g.Instr)), and returns the merged
+// manifest with runs in grid order. The manifest is a pure function of
+// (grid, injection settings): worker count, stealing schedule, and resume
+// splits cannot change a byte of it. On cancellation Execute returns the
+// context error and no manifest; completed runs are already journaled, so
+// a later Execute with Resume picks up where this one stopped.
+func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if fn == nil {
+		fn = Sim(g.Instr)
+	}
+	units := g.Units()
+	if len(units) == 0 {
+		return nil, fmt.Errorf("sweep: grid %q is empty", g.Name)
+	}
+	seen := make(map[string]int, len(units))
+	for _, u := range units {
+		if prev, dup := seen[u.Key]; dup {
+			return nil, fmt.Errorf("sweep: grid %q runs %d and %d share key %s (duplicate unit)",
+				g.Name, prev, u.Seq, u.Key)
+		}
+		seen[u.Key] = u.Seq
+	}
+	if r := e.opts.Resume; r != nil {
+		if r.Grid != g.Name || r.Instr != g.Instr {
+			return nil, fmt.Errorf("sweep: resume journal is for grid %q instr %d, want %q instr %d",
+				r.Grid, r.Instr, g.Name, g.Instr)
+		}
+	}
+
+	e.mu.Lock()
+	e.rec = make([]*Record, len(units))
+	e.shards = make([]obs.ShardStat, e.pool.Workers())
+	for i := range e.shards {
+		e.shards[i].Worker = i
+	}
+	e.info = obs.SweepInfo{Workers: e.pool.Workers(), Total: len(units)}
+	e.journal = e.opts.Journal
+	e.mu.Unlock()
+
+	if err := e.writeJournal(journalHeader{
+		Schema: JournalSchema, Version: JournalVersion,
+		Grid: g.Name, Instr: g.Instr, Total: len(units),
+	}); err != nil {
+		return nil, err
+	}
+
+	// Satisfy runs from the resume journal; re-journal them so the new
+	// journal is self-contained.
+	var pending []int
+	for i, u := range units {
+		if e.opts.Resume != nil {
+			if r, ok := e.opts.Resume.Records[u.Key]; ok && r.Err == "" {
+				r.Seq, r.Bench, r.Scheme, r.PhysRegs = u.Seq, u.Profile.Name, u.Config.Scheme.String(), u.Config.PhysRegs
+				e.finishRun(u, r, -1, true)
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	start := time.Now()
+	poolErr := e.pool.ForEach(ctx, len(pending), func(worker, j int) {
+		u := units[pending[j]]
+		t0 := time.Now()
+		rec := e.runOne(ctx, u, fn)
+		busy := time.Since(t0).Seconds()
+
+		e.mu.Lock()
+		s := &e.shards[worker]
+		s.Runs++
+		s.BusySeconds += busy
+		if rec.Err != "" {
+			s.Failed++
+		} else {
+			s.Committed += rec.Result.Committed
+			s.Cycles += rec.Result.Cycles
+		}
+		if s.BusySeconds > 0 {
+			s.CyclesPerSec = float64(s.Cycles) / s.BusySeconds
+		}
+		e.mu.Unlock()
+
+		e.finishRun(u, rec, worker, false)
+	})
+	wall := time.Since(start).Seconds()
+
+	e.mu.Lock()
+	e.info.WallSeconds = wall
+	e.info.Shards = append([]obs.ShardStat(nil), e.shards...)
+	var execCycles uint64
+	for _, s := range e.shards {
+		execCycles += s.Cycles
+	}
+	if wall > 0 {
+		e.info.CyclesPerSec = float64(execCycles) / wall
+	}
+	recs := e.rec
+	e.mu.Unlock()
+
+	if poolErr != nil {
+		return nil, poolErr
+	}
+
+	m := &Manifest{Schema: ManifestSchema, Version: ManifestVersion, Grid: g.info()}
+	m.Runs = make([]Record, len(recs))
+	for i, r := range recs {
+		if r == nil {
+			return nil, fmt.Errorf("sweep: run %d never executed (engine bug)", i)
+		}
+		m.Runs[i] = *r
+		if r.Err == "" {
+			m.Totals.Done++
+			m.Totals.Committed += r.Result.Committed
+			m.Totals.Cycles += r.Result.Cycles
+		} else {
+			m.Totals.Failed++
+		}
+	}
+	return m, nil
+}
+
+// runOne executes one unit with panic isolation and bounded
+// retry-with-backoff, returning its deterministic record.
+func (e *Engine) runOne(ctx context.Context, u Unit, fn RunFunc) Record {
+	rec := Record{
+		Key: u.Key, Seq: u.Seq, Bench: u.Profile.Name,
+		Scheme: u.Config.Scheme.String(), PhysRegs: u.Config.PhysRegs,
+	}
+	backoff := e.opts.Backoff
+	for attempt := 1; ; attempt++ {
+		rec.Attempts = attempt
+		res, err := e.attempt(ctx, u, fn)
+		if err == nil {
+			rec.Result, rec.Err = res, ""
+			return rec
+		}
+		rec.Err = err.Error()
+		if attempt > e.opts.Retries || ctx.Err() != nil {
+			return rec
+		}
+		e.mu.Lock()
+		e.info.Retried++
+		e.mu.Unlock()
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return rec
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// attempt runs fn once, converting a panic — the unit's own or an
+// injected one — into an error so a poisoned run degrades to a recorded
+// failure instead of killing the sweep.
+func (e *Engine) attempt(ctx context.Context, u Unit, fn RunFunc) (res pipeline.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	if e.opts.InjectPanic == u.Seq+1 {
+		panic(fmt.Sprintf("injected fault (-inject-panic %d)", e.opts.InjectPanic))
+	}
+	return fn(ctx, u)
+}
+
+// finishRun stores the record, journals it, updates counters, and emits a
+// progress tick. worker is -1 for resumed runs.
+func (e *Engine) finishRun(u Unit, rec Record, worker int, resumed bool) {
+	e.mu.Lock()
+	r := rec
+	e.rec[u.Seq] = &r
+	if resumed {
+		e.info.Resumed++
+	}
+	if rec.Err == "" {
+		e.info.Done++
+	} else {
+		e.info.Failed++
+	}
+	p := obs.SweepProgress{
+		Done: e.info.Done, Failed: e.info.Failed, Retried: e.info.Retried,
+		Resumed: e.info.Resumed, Total: e.info.Total,
+		Bench: rec.Bench, Scheme: rec.Scheme, Worker: worker, Err: rec.Err,
+	}
+	cb := e.opts.OnProgress
+	e.mu.Unlock()
+
+	// Journal failures too: a resumed sweep re-executes them (LoadJournal
+	// keeps them, Execute only skips Err=="" records).
+	if err := e.writeJournal(journalEntry{Record: rec, Worker: worker}); err != nil && cb != nil {
+		p.Err = "journal: " + err.Error()
+	}
+	if cb != nil {
+		cb(p)
+	}
+}
+
+// writeJournal appends one JSONL line. Each line is one Write call, so an
+// os.File journal is line-atomic in practice and a kill can corrupt at
+// most the final line — which LoadJournal tolerates.
+func (e *Engine) writeJournal(v any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.journal == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: journal encode: %w", err)
+	}
+	if _, err := e.journal.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("sweep: journal write: %w", err)
+	}
+	e.info.JournalFlushes++
+	return nil
+}

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"atr/internal/config"
+	"atr/internal/pipeline"
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// MemoKey returns the canonical identity string of one (profile, config)
+// run — the same string experiments.Runner uses as its memoization key.
+// The config is rendered with %+v so every field, including ones added in
+// the future, participates and cannot silently alias two different runs.
+func MemoKey(p workload.Profile, cfg config.Config) string {
+	return fmt.Sprintf("%s|%+v", p.Name, cfg)
+}
+
+// Key returns the compact run key used in journals and manifests: a
+// 128-bit hex prefix of SHA-256 over MemoKey. It inherits MemoKey's
+// every-field coverage while keeping journal lines short.
+func Key(p workload.Profile, cfg config.Config) string {
+	sum := sha256.Sum256([]byte(MemoKey(p, cfg)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Unit is one run of a sweep grid.
+type Unit struct {
+	Seq     int // position in the grid's deterministic order
+	Profile workload.Profile
+	Config  config.Config
+	Key     string
+}
+
+// Grid declares a sweep: the cross product of profiles × register-file
+// sizes × release schemes over a base configuration, each run simulating
+// Instr instructions. Units are ordered profile-major, then register-file
+// size, then scheme — the deterministic order the final manifest reports
+// regardless of execution schedule.
+type Grid struct {
+	Name     string
+	Instr    uint64
+	Base     config.Config
+	Profiles []workload.Profile
+	PhysRegs []int                  // empty: use Base.PhysRegs unchanged
+	Schemes  []config.ReleaseScheme // empty: use Base.Scheme unchanged
+}
+
+// Units expands the grid into its runs in deterministic order.
+func (g Grid) Units() []Unit {
+	regs := g.PhysRegs
+	if len(regs) == 0 {
+		regs = []int{g.Base.PhysRegs}
+	}
+	schemes := g.Schemes
+	if len(schemes) == 0 {
+		schemes = []config.ReleaseScheme{g.Base.Scheme}
+	}
+	units := make([]Unit, 0, len(g.Profiles)*len(regs)*len(schemes))
+	for _, p := range g.Profiles {
+		for _, n := range regs {
+			for _, s := range schemes {
+				cfg := g.Base.WithPhysRegs(n).WithScheme(s)
+				units = append(units, Unit{
+					Seq:     len(units),
+					Profile: p,
+					Config:  cfg,
+					Key:     Key(p, cfg),
+				})
+			}
+		}
+	}
+	return units
+}
+
+// info renders the grid's identity for the manifest header.
+func (g Grid) info() GridInfo {
+	gi := GridInfo{Name: g.Name, Instr: g.Instr, PhysRegs: g.PhysRegs}
+	for _, p := range g.Profiles {
+		gi.Profiles = append(gi.Profiles, p.Name)
+	}
+	for _, s := range g.Schemes {
+		gi.Schemes = append(gi.Schemes, s.String())
+	}
+	if len(gi.PhysRegs) == 0 {
+		gi.PhysRegs = []int{g.Base.PhysRegs}
+	}
+	if len(gi.Schemes) == 0 {
+		gi.Schemes = []string{g.Base.Scheme.String()}
+	}
+	gi.Total = len(gi.Profiles) * len(gi.PhysRegs) * len(gi.Schemes)
+	return gi
+}
+
+const defaultInstr = 40_000
+
+// Fig10Grid is the paper's Figure 10 sweep: every benchmark profile at
+// both evaluated register-file sizes under all four release schemes, on
+// the Golden Cove base configuration. instr 0 selects the default budget.
+func Fig10Grid(instr uint64) Grid {
+	if instr == 0 {
+		instr = defaultInstr
+	}
+	return Grid{
+		Name:     "fig10",
+		Instr:    instr,
+		Base:     config.GoldenCove(),
+		Profiles: workload.Profiles(),
+		PhysRegs: []int{64, 224},
+		Schemes:  config.Schemes(),
+	}
+}
+
+// FullGrid is the full replication sweep: every profile across the whole
+// register-file axis under every scheme (the superset later figure
+// replications draw from).
+func FullGrid(instr uint64) Grid {
+	if instr == 0 {
+		instr = defaultInstr
+	}
+	return Grid{
+		Name:     "full",
+		Instr:    instr,
+		Base:     config.GoldenCove(),
+		Profiles: workload.Profiles(),
+		PhysRegs: []int{64, 96, 128, 160, 192, 224, 256, 280},
+		Schemes:  config.Schemes(),
+	}
+}
+
+// MicroGrid is a small fast grid for smoke tests and CI: three seeds of
+// the micro profile (renamed so their run keys stay distinct) at two
+// register-file sizes under every scheme — 24 runs.
+func MicroGrid(instr uint64) Grid {
+	if instr == 0 {
+		instr = 2000
+	}
+	var ps []workload.Profile
+	for _, seed := range []uint64{1, 2, 3} {
+		p := workload.Micro(seed)
+		p.Name = fmt.Sprintf("micro%d", seed)
+		ps = append(ps, p)
+	}
+	return Grid{
+		Name:     "micro",
+		Instr:    instr,
+		Base:     config.GoldenCove(),
+		Profiles: ps,
+		PhysRegs: []int{64, 96},
+		Schemes:  config.Schemes(),
+	}
+}
+
+// GridByName resolves a named grid preset.
+func GridByName(name string, instr uint64) (Grid, error) {
+	switch name {
+	case "fig10":
+		return Fig10Grid(instr), nil
+	case "full":
+		return FullGrid(instr), nil
+	case "micro":
+		return MicroGrid(instr), nil
+	}
+	return Grid{}, fmt.Errorf("sweep: unknown grid %q (have fig10, full, micro)", name)
+}
+
+// RunFunc executes one unit and returns its simulation result. A RunFunc
+// must be safe for concurrent calls and deterministic in (Profile, Config)
+// for the engine's manifest-determinism guarantee to hold.
+type RunFunc func(ctx context.Context, u Unit) (pipeline.Result, error)
+
+type progOnce struct {
+	once sync.Once
+	prog *program.Program
+}
+
+// SimScheduler returns the standard RunFunc: simulate the unit's profile
+// under its config for instr instructions with the given scheduler
+// implementation, generating each profile's program at most once per sweep
+// (programs are immutable code images, shared freely across workers).
+func SimScheduler(kind pipeline.SchedulerKind, instr uint64) RunFunc {
+	var mu sync.Mutex
+	progs := make(map[string]*progOnce)
+	return func(ctx context.Context, u Unit) (pipeline.Result, error) {
+		if err := u.Config.Validate(); err != nil {
+			return pipeline.Result{}, err
+		}
+		mu.Lock()
+		e, ok := progs[u.Profile.Name]
+		if !ok {
+			e = &progOnce{}
+			progs[u.Profile.Name] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() { e.prog = u.Profile.Generate() })
+		return pipeline.NewWithScheduler(u.Config, e.prog, kind).Run(instr), nil
+	}
+}
+
+// Sim is SimScheduler on the default event-driven scheduler.
+func Sim(instr uint64) RunFunc { return SimScheduler(pipeline.SchedulerEvent, instr) }

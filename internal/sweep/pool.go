@@ -1,0 +1,139 @@
+// Package sweep is the sharded, fault-tolerant sweep engine: it executes a
+// declared grid of (profile × config × scheme) simulations on a bounded
+// work-stealing worker pool with per-run panic isolation, bounded
+// retry-with-backoff, context cancellation, a JSONL journal of completed
+// runs for kill/resume, and a deterministic merge whose final manifest is
+// bit-identical regardless of worker count or resume splits.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded work-stealing worker pool over integer-indexed work
+// items. All items are known up front, so each worker owns a deque seeded
+// round-robin; a worker drains its own deque from the front and, when
+// empty, steals the back half of a victim's deque. Once every deque is
+// empty all remaining work is in flight and idle workers exit.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker bound; workers <= 0 selects
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// deque is a mutex-guarded work queue. The owner pops from the front;
+// thieves take the back half.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	it := d.items[0]
+	d.items = d.items[1:]
+	return it, true
+}
+
+func (d *deque) pushBack(items []int) {
+	d.mu.Lock()
+	d.items = append(d.items, items...)
+	d.mu.Unlock()
+}
+
+// stealBack removes and returns up to half of the items from the back.
+func (d *deque) stealBack() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	stolen := append([]int(nil), d.items[n-k:]...)
+	d.items = d.items[:n-k]
+	return stolen
+}
+
+// ForEach invokes fn(worker, item) for every item in [0, n), with at most
+// Workers() invocations running concurrently. It blocks until every item
+// has run or ctx is cancelled; on cancellation, items not yet started are
+// skipped (in-flight items complete) and the context error is returned.
+// fn must handle its own panics — an escaped panic kills the process.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(worker, item int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 0 {
+		return ctx.Err()
+	}
+	qs := make([]*deque, w)
+	for i := range qs {
+		qs[i] = &deque{}
+	}
+	// Round-robin deal: adjacent items (often similar cost) spread across
+	// workers, which keeps initial shards balanced before stealing kicks in.
+	for i := 0; i < n; i++ {
+		q := qs[i%w]
+		q.items = append(q.items, i)
+	}
+	var wg sync.WaitGroup
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			q := qs[wid]
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				item, ok := q.popFront()
+				if !ok {
+					item, ok = p.steal(qs, wid)
+					if !ok {
+						return
+					}
+				}
+				fn(wid, item)
+			}
+		}(wid)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// steal scans the other workers' deques for work, moves the stolen batch
+// into the thief's own deque, and returns one item to run.
+func (p *Pool) steal(qs []*deque, thief int) (int, bool) {
+	for off := 1; off < len(qs); off++ {
+		victim := qs[(thief+off)%len(qs)]
+		if batch := victim.stealBack(); len(batch) > 0 {
+			item := batch[0]
+			if len(batch) > 1 {
+				qs[thief].pushBack(batch[1:])
+			}
+			return item, true
+		}
+	}
+	return 0, false
+}

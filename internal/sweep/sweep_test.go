@@ -1,0 +1,354 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atr/internal/obs"
+	"atr/internal/pipeline"
+)
+
+// encode renders a manifest to its canonical bytes.
+func encode(t *testing.T, m *Manifest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("encode manifest: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// testGrid is a small fast grid for engine tests.
+func testGrid() Grid { return MicroGrid(600) }
+
+func TestPoolExecutesEachItemOnceWithinBound(t *testing.T) {
+	const workers, n = 4, 97
+	p := NewPool(workers)
+	var counts [n]atomic.Int64
+	var inFlight, high atomic.Int64
+	err := p.ForEach(context.Background(), n, func(_, i int) {
+		cur := inFlight.Add(1)
+		for {
+			h := high.Load()
+			if cur <= h || high.CompareAndSwap(h, cur) {
+				break
+			}
+		}
+		// Uneven work so stealing actually happens.
+		if i%7 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		counts[i].Add(1)
+		inFlight.Add(-1)
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("item %d executed %d times, want 1", i, got)
+		}
+	}
+	if h := high.Load(); h > workers {
+		t.Errorf("concurrency high-water %d exceeds worker bound %d", h, workers)
+	}
+}
+
+func TestPoolZeroWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := NewPool(0).Workers(); w <= 0 {
+		t.Fatalf("Workers() = %d, want positive", w)
+	}
+}
+
+// TestSweepDeterminism is the tentpole contract: the same grid at worker
+// counts 1, 4, and 16 yields byte-identical manifests.
+func TestSweepDeterminism(t *testing.T) {
+	g := testGrid()
+	var want []byte
+	for _, workers := range []int{1, 4, 16} {
+		eng := New(Options{Workers: workers})
+		m, err := eng.Execute(context.Background(), g, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if m.Totals.Failed != 0 || m.Totals.Done != m.Grid.Total {
+			t.Fatalf("workers=%d: totals %+v, want all %d done", workers, m.Totals, m.Grid.Total)
+		}
+		got := encode(t, m)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: manifest bytes differ from workers=1", workers)
+		}
+	}
+	// The canonical bytes must round-trip through the validator.
+	if _, err := DecodeManifest(bytes.NewReader(want)); err != nil {
+		t.Fatalf("decode canonical manifest: %v", err)
+	}
+}
+
+// TestSweepResume kills a journal mid-write (whole records dropped plus a
+// torn final line) and proves the resumed sweep reconstructs the exact
+// manifest of the uninterrupted run while re-executing only missing runs.
+func TestSweepResume(t *testing.T) {
+	g := testGrid()
+
+	var journal bytes.Buffer
+	eng := New(Options{Workers: 4, Journal: &journal})
+	full, err := eng.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("full sweep: %v", err)
+	}
+	wantBytes := encode(t, full)
+
+	// Truncate: keep the header plus 9 records, then a torn partial line —
+	// the on-disk shape of a sweep killed mid-write.
+	lines := strings.Split(strings.TrimRight(journal.String(), "\n"), "\n")
+	if len(lines) != 1+len(g.Units()) {
+		t.Fatalf("journal has %d lines, want header + %d records", len(lines), len(g.Units()))
+	}
+	const keep = 9
+	truncated := strings.Join(lines[:1+keep], "\n") + "\n" + `{"key":"torn-mid-wr`
+
+	j, err := LoadJournal(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatalf("load truncated journal: %v", err)
+	}
+	if j.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the torn line)", j.Dropped)
+	}
+	if len(j.Records) != keep {
+		t.Fatalf("journal kept %d records, want %d", len(j.Records), keep)
+	}
+
+	var journal2 bytes.Buffer
+	eng2 := New(Options{Workers: 7, Journal: &journal2, Resume: j})
+	resumed, err := eng2.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if !bytes.Equal(encode(t, resumed), wantBytes) {
+		t.Error("resumed manifest differs from uninterrupted manifest")
+	}
+	info := eng2.Info()
+	if info.Resumed != keep {
+		t.Errorf("Resumed = %d, want %d", info.Resumed, keep)
+	}
+	if info.JournalFlushes != 1+len(full.Runs) {
+		t.Errorf("JournalFlushes = %d, want header + %d records", info.JournalFlushes, len(full.Runs))
+	}
+
+	// The resumed journal is self-contained: resuming from it executes
+	// nothing at all and still reproduces the manifest.
+	j2, err := LoadJournal(bytes.NewReader(journal2.Bytes()))
+	if err != nil {
+		t.Fatalf("load resumed journal: %v", err)
+	}
+	eng3 := New(Options{Workers: 2, Resume: j2})
+	again, err := eng3.Execute(context.Background(), g,
+		func(ctx context.Context, u Unit) (pipeline.Result, error) {
+			t.Errorf("run %s re-executed despite complete journal", u.Key)
+			return pipeline.Result{}, nil
+		})
+	if err != nil {
+		t.Fatalf("journal-only sweep: %v", err)
+	}
+	if !bytes.Equal(encode(t, again), wantBytes) {
+		t.Error("journal-only manifest differs from uninterrupted manifest")
+	}
+	if got := eng3.Info().Resumed; got != len(full.Runs) {
+		t.Errorf("journal-only Resumed = %d, want %d", got, len(full.Runs))
+	}
+}
+
+// TestSweepInjectPanic proves the fault-injection contract: the poisoned
+// run panics on every attempt, is retried with backoff, and degrades to a
+// recorded failure while the rest of the sweep completes normally.
+func TestSweepInjectPanic(t *testing.T) {
+	g := testGrid()
+	const poisoned = 3 // 1-based: grid seq 2
+	eng := New(Options{Workers: 4, Retries: 2, InjectPanic: poisoned})
+	m, err := eng.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("sweep with injected panic: %v", err)
+	}
+	if m.Totals.Failed != 1 || m.Totals.Done != m.Grid.Total-1 {
+		t.Fatalf("totals %+v, want exactly one failure in %d runs", m.Totals, m.Grid.Total)
+	}
+	bad := m.Runs[poisoned-1]
+	if bad.Err == "" || !strings.Contains(bad.Err, "injected fault") {
+		t.Errorf("poisoned run error = %q, want injected fault panic", bad.Err)
+	}
+	if bad.Attempts != 3 {
+		t.Errorf("poisoned run attempts = %d, want 1+2 retries", bad.Attempts)
+	}
+	if bad.Result.Cycles != 0 {
+		t.Errorf("failed run carries a result: %+v", bad.Result)
+	}
+	info := eng.Info()
+	if info.Retried != 2 {
+		t.Errorf("Retried = %d, want 2", info.Retried)
+	}
+	for i, r := range m.Runs {
+		if i != poisoned-1 && r.Err != "" {
+			t.Errorf("run %d failed collaterally: %s", i, r.Err)
+		}
+	}
+}
+
+// TestSweepRetryRecovers proves a transiently failing run is retried and
+// recorded as a success with its attempt count.
+func TestSweepRetryRecovers(t *testing.T) {
+	g := testGrid()
+	flakySeq := 5
+	var failed atomic.Bool
+	sim := Sim(g.Instr)
+	fn := func(ctx context.Context, u Unit) (pipeline.Result, error) {
+		if u.Seq == flakySeq && !failed.Swap(true) {
+			return pipeline.Result{}, fmt.Errorf("transient: connection reset by simulator")
+		}
+		return sim(ctx, u)
+	}
+	eng := New(Options{Workers: 4, Retries: 1, Backoff: time.Millisecond})
+	m, err := eng.Execute(context.Background(), g, fn)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if m.Totals.Failed != 0 {
+		t.Fatalf("totals %+v, want no failures", m.Totals)
+	}
+	if got := m.Runs[flakySeq].Attempts; got != 2 {
+		t.Errorf("flaky run attempts = %d, want 2", got)
+	}
+	if eng.Info().Retried != 1 {
+		t.Errorf("Retried = %d, want 1", eng.Info().Retried)
+	}
+	// Retries must not leak into the deterministic result: compare against
+	// a clean run ignoring the attempt counts.
+	clean, err := New(Options{Workers: 1}).Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("clean sweep: %v", err)
+	}
+	for i := range m.Runs {
+		a, b := m.Runs[i], clean.Runs[i]
+		a.Attempts = b.Attempts
+		if a != b {
+			t.Errorf("run %d diverged after retry:\n got %+v\nwant %+v", i, a, b)
+		}
+	}
+}
+
+// TestSweepCancel cancels mid-sweep and proves (a) Execute reports the
+// cancellation, (b) the journal holds everything that completed, and (c) a
+// resumed sweep converges to the uninterrupted manifest.
+func TestSweepCancel(t *testing.T) {
+	g := testGrid()
+	want, err := New(Options{Workers: 2}).Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	wantBytes := encode(t, want)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var journal lockedBuffer
+	eng := New(Options{Workers: 2, Journal: &journal, OnProgress: func(p obs.SweepProgress) {
+		if p.Done >= 6 {
+			cancel()
+		}
+	}})
+	if _, err := eng.Execute(ctx, g, nil); err != context.Canceled {
+		t.Fatalf("cancelled Execute error = %v, want context.Canceled", err)
+	}
+
+	j, err := LoadJournal(strings.NewReader(journal.String()))
+	if err != nil {
+		t.Fatalf("load journal of cancelled sweep: %v", err)
+	}
+	if len(j.Records) < 6 {
+		t.Fatalf("journal has %d records, want >= 6", len(j.Records))
+	}
+	resumed, err := New(Options{Workers: 4, Resume: j}).Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if !bytes.Equal(encode(t, resumed), wantBytes) {
+		t.Error("post-cancel resumed manifest differs from uninterrupted manifest")
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the engine's journal writes
+// racing the test's final read.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestResumeJournalGridMismatch(t *testing.T) {
+	g := testGrid()
+	var journal bytes.Buffer
+	if _, err := New(Options{Workers: 2, Journal: &journal}).Execute(context.Background(), g, nil); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	j, err := LoadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	other := Fig10Grid(g.Instr)
+	if _, err := New(Options{Resume: j}).Execute(context.Background(), other, nil); err == nil {
+		t.Error("resuming a fig10 grid from a micro journal did not fail")
+	}
+	j.Instr++
+	if _, err := New(Options{Resume: j}).Execute(context.Background(), g, nil); err == nil {
+		t.Error("resuming with a different instruction budget did not fail")
+	}
+}
+
+func TestLoadJournalRejectsGarbage(t *testing.T) {
+	if _, err := LoadJournal(strings.NewReader("")); err == nil {
+		t.Error("empty journal accepted")
+	}
+	if _, err := LoadJournal(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := LoadJournal(strings.NewReader(`{"schema":"atr-run-manifest","version":1}` + "\n")); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+// TestGridKeysUnique pins that every preset grid has pairwise-distinct run
+// keys — the property journals and the memo cache rely on.
+func TestGridKeysUnique(t *testing.T) {
+	for _, g := range []Grid{MicroGrid(0), Fig10Grid(0), FullGrid(0)} {
+		seen := make(map[string]int)
+		for _, u := range g.Units() {
+			if prev, dup := seen[u.Key]; dup {
+				t.Errorf("grid %s: units %d and %d share key %s", g.Name, prev, u.Seq, u.Key)
+			}
+			seen[u.Key] = u.Seq
+		}
+		if len(seen) != g.info().Total {
+			t.Errorf("grid %s: %d unique keys, GridInfo.Total says %d", g.Name, len(seen), g.info().Total)
+		}
+	}
+}

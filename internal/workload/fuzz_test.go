@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+)
+
+// addProfileSeeds seeds a fuzz target with the projections of all 23
+// benchmark profiles, so mutation starts from realistic parameter
+// neighborhoods instead of the all-zero corner.
+func addProfileSeeds(f *testing.F) {
+	for _, p := range Profiles() {
+		seed, ws, a := FuzzArgs(p)
+		f.Add(seed, ws,
+			a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], a[8], a[9],
+			a[10], a[11], a[12], a[13], a[14], a[15], a[16], a[17], a[18])
+	}
+}
+
+// FuzzProgramBuild drives the program generator across its whole parameter
+// space: for any input the builder must not panic and must emit a
+// well-formed executable program — valid opcodes and register operands,
+// in-range control-flow targets, non-empty indirect target sets — that the
+// generator reproduces bit-identically on a second call and that the
+// in-order emulator can execute without leaving the code image.
+func FuzzProgramBuild(f *testing.F) {
+	addProfileSeeds(f)
+	f.Fuzz(func(t *testing.T, seed uint64, ws uint32,
+		load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+		branchEvery, regWindow, loops, trip, blockLen, funcs, flags uint16) {
+
+		p := FuzzProfile(seed, ws,
+			load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+			branchEvery, regWindow, loops, trip, blockLen, funcs, flags)
+		prog := p.Generate()
+
+		if prog.Len() == 0 {
+			t.Fatal("generated empty program")
+		}
+		for pc, in := range prog.Code {
+			if in.Op >= isa.NumOps {
+				t.Fatalf("pc %d: invalid opcode %d", pc, in.Op)
+			}
+			for _, r := range in.Dsts {
+				if r != isa.RegInvalid && !r.Valid() {
+					t.Fatalf("pc %d: invalid destination register %d", pc, r)
+				}
+			}
+			for _, r := range in.Srcs {
+				if r != isa.RegInvalid && !r.Valid() {
+					t.Fatalf("pc %d: invalid source register %d", pc, r)
+				}
+			}
+			if in.Op.IsControl() && in.Op != isa.OpRet {
+				if in.Target > uint64(prog.Len()) {
+					t.Fatalf("pc %d: %v target %d outside program of %d instructions",
+						pc, in.Op, in.Target, prog.Len())
+				}
+			}
+			if in.Op == isa.OpJumpInd || in.Op == isa.OpCallInd {
+				if len(in.Targets) == 0 {
+					t.Fatalf("pc %d: %v with empty target set", pc, in.Op)
+				}
+				for _, tgt := range in.Targets {
+					if tgt > uint64(prog.Len()) {
+						t.Fatalf("pc %d: indirect target %d outside program", pc, tgt)
+					}
+				}
+			}
+		}
+
+		if again := p.Generate(); !reflect.DeepEqual(prog, again) {
+			t.Fatal("Generate is not deterministic for this profile")
+		}
+
+		for _, rec := range program.NewEmulator(prog).Run(3000) {
+			if !prog.ValidPC(rec.PC) {
+				t.Fatalf("emulator committed PC %d outside program of %d instructions",
+					rec.PC, prog.Len())
+			}
+		}
+	})
+}
+
+// TestWriteFuzzSeedCorpus materializes the 23 profile projections as "go
+// test fuzz v1" corpus files under testdata/fuzz/FuzzProgramBuild, so CI
+// fuzz runs start from the benchmark neighborhoods even with an empty fuzz
+// cache. Gated behind ATR_WRITE_FUZZ_CORPUS=1: it is a generator, not a
+// test. The other fuzz targets share FuzzProgramBuild's signature, so these
+// files are copied verbatim into their corpus directories.
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("ATR_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set ATR_WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzProgramBuild")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Profiles() {
+		seed, ws, a := FuzzArgs(p)
+		body := fmt.Sprintf("go test fuzz v1\nuint64(%d)\nuint32(%d)\n", seed, ws)
+		for _, v := range a {
+			body += fmt.Sprintf("uint16(%d)\n", v)
+		}
+		file := filepath.Join(dir, "seed-"+p.Name)
+		if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

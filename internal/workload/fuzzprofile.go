@@ -1,0 +1,118 @@
+package workload
+
+import "fmt"
+
+// FuzzProfile maps an arbitrary fuzzer input vector onto a valid Profile.
+// It is the bridge between go test's native fuzzing (which mutates flat
+// integer tuples) and the generator's parameter space: every possible input
+// lands inside the ranges the generator accepts, so any panic downstream is
+// a real generator or simulator bug, never an out-of-contract profile.
+//
+// All arguments are unsigned integers (not floats or bools) so seed corpus
+// files in the "go test fuzz v1" format stay trivially hand-writable, and
+// every fuzz target in the repo shares this exact signature so corpus
+// entries are copyable between targets.
+func FuzzProfile(seed uint64, ws uint32,
+	load, store, mul, div, fp, mov, flagw, callf, stride, bias, onload, fanout,
+	branchEvery, regWindow, loops, trip, blockLen, funcs, flags uint16) Profile {
+
+	// frac maps x onto [0, max] with ~0.1% granularity.
+	frac := func(x uint16, max float64) float64 { return float64(x%1000) / 999 * max }
+
+	class := "int"
+	if flags&4 != 0 {
+		class = "fp"
+	}
+	return Profile{
+		Name:  fmt.Sprintf("fuzz-%016x", seed),
+		Class: class,
+		Seed:  seed,
+
+		LoadFrac:  frac(load, 0.35),
+		StoreFrac: frac(store, 0.20),
+		MulFrac:   frac(mul, 0.15),
+		DivFrac:   frac(div, 0.05),
+		FPFrac:    frac(fp, 0.45),
+		MoveFrac:  frac(mov, 0.20),
+
+		BranchEvery:  int(branchEvery % 12), // 0 disables extra branches
+		BranchBias:   frac(bias, 1),
+		BranchOnLoad: frac(onload, 1),
+
+		FlagWriteFrac: frac(flagw, 0.60),
+		RegWindow:     2 + int(regWindow%11), // generator clamps to [2,12]
+		FanOut:        1 + frac(fanout, 3),
+
+		WorkingSet:   64 + uint64(ws)%(64<<20),
+		StrideFrac:   frac(stride, 1),
+		PointerChase: flags&2 != 0,
+
+		Loops:     int(loops % 9),
+		TripCount: int(trip % 97),
+		BlockLen:  int(blockLen % 57),
+		Funcs:     int(funcs % 7),
+		CallFrac:  frac(callf, 0.20),
+		Indirect:  flags&1 != 0,
+	}
+}
+
+// FuzzArgs projects a real Profile back into FuzzProfile's input space, for
+// seeding fuzz corpora from the 23 benchmark profiles. The projection is
+// approximate (fractions are quantized, structural knobs clamped to the
+// fuzz ranges); it exists to drop the fuzzer into realistic parameter
+// neighborhoods, not to round-trip profiles exactly.
+func FuzzArgs(p Profile) (seed uint64, ws uint32, args [19]uint16) {
+	unfrac := func(v, max float64) uint16 {
+		if v <= 0 {
+			return 0
+		}
+		if v >= max {
+			return 999
+		}
+		return uint16(v/max*999 + 0.5)
+	}
+	clamp := func(v, hi int) uint16 {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return uint16(hi)
+		}
+		return uint16(v)
+	}
+
+	seed = p.Seed
+	ws = uint32((p.WorkingSet - 64) % (64 << 20))
+	args = [19]uint16{
+		unfrac(p.LoadFrac, 0.35),
+		unfrac(p.StoreFrac, 0.20),
+		unfrac(p.MulFrac, 0.15),
+		unfrac(p.DivFrac, 0.05),
+		unfrac(p.FPFrac, 0.45),
+		unfrac(p.MoveFrac, 0.20),
+		unfrac(p.FlagWriteFrac, 0.60),
+		unfrac(p.CallFrac, 0.20),
+		unfrac(p.StrideFrac, 1),
+		unfrac(p.BranchBias, 1),
+		unfrac(p.BranchOnLoad, 1),
+		unfrac(p.FanOut-1, 3),
+		clamp(p.BranchEvery, 11),
+		clamp(p.RegWindow-2, 10),
+		clamp(p.Loops, 8),
+		clamp(p.TripCount, 96),
+		clamp(p.BlockLen, 56),
+		clamp(p.Funcs, 6),
+	}
+	var flags uint16
+	if p.Indirect {
+		flags |= 1
+	}
+	if p.PointerChase {
+		flags |= 2
+	}
+	if p.Class == "fp" {
+		flags |= 4
+	}
+	args[18] = flags
+	return seed, ws, args
+}
