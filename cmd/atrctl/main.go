@@ -1,0 +1,408 @@
+// Command atrctl is the atrd client: submit simulation and sweep jobs,
+// watch their streamed progress, fetch manifests and telemetry, and cancel.
+//
+//	atrctl [-server http://localhost:8437] <command> [flags] [args]
+//
+//	submit   -grid fig10|full|micro | -bench gcc [-scheme atr] [-regs N]
+//	         | -spec grid.json      [-n instr] [-watch] [-ephemeral] [-q]
+//	watch    <job>          stream progress until the job finishes
+//	wait     <job>          block (quietly) until the job finishes
+//	status   <job>          one-shot status
+//	manifest [-o file] <job>  fetch the deterministic result manifest
+//	perf     [-o file] <job>  fetch scheduling telemetry (provenance)
+//	cancel   <job>
+//	list
+//	health
+//	metrics
+//
+// Exit status: 0 success (watch/wait: job done), 1 operational error or
+// job failure, 2 usage error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func main() {
+	global := flag.NewFlagSet("atrctl", flag.ExitOnError)
+	server := global.String("server", envOr("ATRD_SERVER", "http://localhost:8437"), "atrd base URL")
+	global.Usage = usage
+	_ = global.Parse(os.Args[1:])
+	args := global.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*server, "/"), http: &http.Client{}}
+
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = c.submit(rest)
+	case "watch":
+		err = c.watch(rest)
+	case "wait":
+		err = c.wait(rest)
+	case "status":
+		err = c.oneJob(rest, "")
+	case "manifest":
+		err = c.fetch(rest, "manifest")
+	case "perf":
+		err = c.fetch(rest, "perf")
+	case "cancel":
+		err = c.cancel(rest)
+	case "list":
+		err = c.list()
+	case "health":
+		err = c.get("/healthz", os.Stdout)
+	case "metrics":
+		err = c.get("/metrics", os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "atrctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atrctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: atrctl [-server URL] <command> [flags] [args]
+commands: submit watch wait status manifest perf cancel list health metrics`)
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// apiErr extracts the server's JSON error message from a non-2xx reply.
+func apiErr(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+		State string `json:"state"`
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		if e.State != "" {
+			return fmt.Errorf("%s: %s (job state %s)", resp.Status, e.Error, e.State)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("%s: %s (Retry-After %ss)", resp.Status, e.Error, resp.Header.Get("Retry-After"))
+		}
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+}
+
+func (c *client) get(path string, w io.Writer) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	grid := fs.String("grid", "", "grid preset (fig10, full, micro)")
+	bench := fs.String("bench", "", "single run: benchmark profile name")
+	scheme := fs.String("scheme", "", "single run: release scheme")
+	regs := fs.Int("regs", 0, "single run: physical registers per class (0: base config)")
+	specPath := fs.String("spec", "", "submit this JSON job spec file verbatim")
+	instr := fs.Uint64("n", 0, "instructions per run (0: daemon default)")
+	watch := fs.Bool("watch", false, "stream progress until the job finishes")
+	ephemeral := fs.Bool("ephemeral", false, "cancel the job if this client disconnects (implies -watch)")
+	quiet := fs.Bool("q", false, "print only the job ID")
+	_ = fs.Parse(args)
+
+	var spec map[string]any
+	switch {
+	case *specPath != "":
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return fmt.Errorf("%s: %w", *specPath, err)
+		}
+	case *grid != "":
+		spec = map[string]any{"kind": "grid", "grid": *grid}
+	case *bench != "":
+		spec = map[string]any{"kind": "run", "bench": *bench}
+		if *scheme != "" {
+			spec["scheme"] = *scheme
+		}
+		if *regs != 0 {
+			spec["regs"] = *regs
+		}
+	default:
+		return fmt.Errorf("submit needs -grid, -bench, or -spec")
+	}
+	if *instr != 0 {
+		spec["instr"] = *instr
+	}
+	if *ephemeral {
+		spec["ephemeral"] = true
+		*watch = true
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+
+	url := c.base + "/v1/jobs"
+	if *watch {
+		url += "?watch=1"
+	}
+	resp, err := c.http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if *watch {
+		if resp.StatusCode != http.StatusOK {
+			return apiErr(resp)
+		}
+		return streamEvents(resp, *quiet)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return apiErr(resp)
+	}
+	defer resp.Body.Close()
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if *quiet {
+		fmt.Println(st.ID)
+	} else {
+		fmt.Printf("%s %s (grid %s, %d runs)\n", st.ID, st.State, st.Grid, st.Total)
+	}
+	return nil
+}
+
+type status struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Grid     string `json:"grid"`
+	Total    int    `json:"total"`
+	Error    string `json:"error"`
+	Progress struct {
+		Done    int    `json:"Done"`
+		Failed  int    `json:"Failed"`
+		Resumed int    `json:"Resumed"`
+		Total   int    `json:"Total"`
+		Bench   string `json:"Bench"`
+		Scheme  string `json:"Scheme"`
+	} `json:"progress"`
+}
+
+type event struct {
+	Type     string `json:"type"`
+	Job      string `json:"job"`
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress *struct {
+		Done    int    `json:"Done"`
+		Failed  int    `json:"Failed"`
+		Resumed int    `json:"Resumed"`
+		Total   int    `json:"Total"`
+		Bench   string `json:"Bench"`
+		Scheme  string `json:"Scheme"`
+		Worker  int    `json:"Worker"`
+		Err     string `json:"Err"`
+	} `json:"progress"`
+}
+
+// streamEvents consumes an NDJSON event stream, rendering progress to
+// stderr and returning an error unless the job ends done.
+func streamEvents(resp *http.Response, quiet bool) error {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	final := ""
+	finalErr := ""
+	printedID := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		if ev.Job != "" && !printedID {
+			if quiet {
+				fmt.Println(ev.Job)
+			}
+			printedID = true
+		}
+		switch ev.Type {
+		case "progress":
+			if p := ev.Progress; p != nil && !quiet {
+				stat := "ok"
+				if p.Err != "" {
+					stat = "FAIL " + p.Err
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s (worker %d): %s\n",
+					p.Done+p.Failed, p.Total, p.Bench, p.Scheme, p.Worker, stat)
+			}
+		case "status":
+			final = ev.State
+			finalErr = ev.Error
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "job %s: %s %s\n", ev.Job, ev.State, ev.Error)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if final != "done" {
+		return fmt.Errorf("job ended %s %s", final, finalErr)
+	}
+	return nil
+}
+
+func (c *client) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: atrctl watch <job>")
+	}
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	return streamEvents(resp, false)
+}
+
+// wait polls until the job reaches a terminal state.
+func (c *client) wait(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: atrctl wait <job>")
+	}
+	for {
+		st, err := c.status(args[0])
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "cancelled", "interrupted":
+			return fmt.Errorf("job %s ended %s %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (c *client) status(id string) (status, error) {
+	var st status
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, apiErr(resp)
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func (c *client) oneJob(args []string, _ string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: atrctl status <job>")
+	}
+	return c.get("/v1/jobs/"+args[0], os.Stdout)
+}
+
+func (c *client) fetch(args []string, what string) error {
+	fs := flag.NewFlagSet(what, flag.ExitOnError)
+	out := fs.String("o", "", "write to this file instead of stdout")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: atrctl %s [-o file] <job>", what)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return c.get("/v1/jobs/"+fs.Arg(0)+"/"+what, w)
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: atrctl cancel <job>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) list() error {
+	resp, err := c.http.Get(c.base + "/v1/jobs")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	defer resp.Body.Close()
+	var jobs []status
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		fmt.Printf("%-10s %-12s grid=%-8s %d/%d done", j.ID, j.State, j.Grid, j.Progress.Done, j.Total)
+		if j.Error != "" {
+			fmt.Printf("  (%s)", j.Error)
+		}
+		fmt.Println()
+	}
+	return nil
+}

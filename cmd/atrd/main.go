@@ -1,0 +1,111 @@
+// Command atrd is the ATR simulation daemon: a long-running HTTP service
+// that accepts simulation and sweep jobs, executes them on the sweep
+// engine's work-stealing pool, and streams progress as NDJSON/SSE.
+//
+//	atrd [-addr :8437] [-state atrd-state] [-n instr]
+//	     [-sim-workers N] [-job-workers N] [-queue N]
+//	     [-rate r] [-burst N] [-cache-cap N] [-runner-cache-cap N]
+//	     [-retries N] [-backoff d] [-drain d]
+//
+// API (all JSON):
+//
+//	POST   /v1/jobs               submit {"kind":"grid","grid":"fig10"} etc.;
+//	                              ?watch=1 streams progress on the same
+//	                              connection (NDJSON, or SSE via Accept)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status
+//	GET    /v1/jobs/{id}/events   live progress stream
+//	GET    /v1/jobs/{id}/manifest deterministic result manifest — byte-
+//	                              identical to offline atrsweep output
+//	GET    /v1/jobs/{id}/perf     scheduling telemetry with provenance
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /healthz               liveness (503 while draining)
+//	GET    /metrics               daemon counters (obs.ServerInfo)
+//
+// Backpressure: a full job queue or an exhausted per-client token bucket
+// answers 429 with Retry-After. On SIGINT/SIGTERM the daemon drains:
+// in-flight runs finish and are journaled, incomplete jobs park in the
+// state dir, and the next atrd over the same -state resumes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"atr/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8437", "listen address")
+	state := flag.String("state", "atrd-state", "state directory (job specs, journals, manifests)")
+	instr := flag.Uint64("n", 40000, "default instructions per run for specs that omit it")
+	simWorkers := flag.Int("sim-workers", 0, "simulation pool width per job (0 selects GOMAXPROCS)")
+	jobWorkers := flag.Int("job-workers", 2, "jobs executing concurrently")
+	queue := flag.Int("queue", 64, "bounded job queue depth (beyond it: 429 + Retry-After)")
+	rate := flag.Float64("rate", 5, "per-client submissions/sec (negative disables limiting)")
+	burst := flag.Int("burst", 10, "per-client submission burst")
+	cacheCap := flag.Int("cache-cap", 65536, "content-addressed result cache entries")
+	runnerCacheCap := flag.Int("runner-cache-cap", 0, "shared program/memo cache entries (0 selects default)")
+	retries := flag.Int("retries", 1, "retries per failing run")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "first-retry backoff (doubles per retry)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	if *queue < 1 || *jobWorkers < 1 {
+		fmt.Fprintln(os.Stderr, "atrd: -queue and -job-workers must be >= 1")
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "atrd: -retries must be >= 0")
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Options{
+		StateDir:       *state,
+		DefaultInstr:   *instr,
+		SimWorkers:     *simWorkers,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queue,
+		Rate:           *rate,
+		Burst:          *burst,
+		CacheCap:       *cacheCap,
+		RunnerCacheCap: *runnerCacheCap,
+		Retries:        *retries,
+		Backoff:        *backoff,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atrd:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("atrd: serving on %s (state %s)", *addr, *state)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "atrd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Printf("atrd: draining (budget %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(dctx)
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("atrd: drain incomplete: %v (journals stay resumable)", err)
+		os.Exit(1)
+	}
+	log.Printf("atrd: drained cleanly; incomplete jobs will resume on restart")
+}

@@ -21,7 +21,8 @@
 // telemetry (wall clock, retries, per-shard throughput) varies run to run
 // and goes to -perf, never into the manifest. Exit status: 0 all runs
 // succeeded, 3 the sweep completed with recorded failures, 1 on
-// cancellation or operational error.
+// cancellation or operational error, 2 on invalid flags (-workers < 1,
+// -retries < 0, or -resume without -journal).
 package main
 
 import (
@@ -61,16 +62,6 @@ const (
 	sweepVersion = 1
 )
 
-// perfManifest is grid mode's scheduling telemetry artifact: everything
-// nondeterministic about a sweep execution, kept out of the result manifest
-// so the latter stays byte-comparable.
-type perfManifest struct {
-	Schema  string        `json:"schema"`
-	Version int           `json:"version"`
-	Build   obs.BuildInfo `json:"build"`
-	Sweep   obs.SweepInfo `json:"sweep"`
-}
-
 func main() {
 	n := flag.Uint64("n", 40000, "instructions per simulation")
 	fig := flag.String("fig", "all", "figure to regenerate (1,4,6,10,11,12,13,14,15,logic,ablations,all)")
@@ -90,6 +81,22 @@ func main() {
 	perfPath := flag.String("perf", "", "grid mode: write scheduling telemetry (wall clock, shards) to this file")
 	injectPanic := flag.Int("inject-panic", 0, "grid mode: poison the k-th grid run (1-based) so every attempt panics")
 	flag.Parse()
+
+	usageErr := func(msg string) {
+		fmt.Fprintln(os.Stderr, "atrsweep:", msg)
+		os.Exit(2)
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" && *workers < 1 {
+			usageErr(fmt.Sprintf("-workers must be >= 1 (got %d); omit the flag to use GOMAXPROCS", *workers))
+		}
+	})
+	if *retries < 0 {
+		usageErr(fmt.Sprintf("-retries must be >= 0 (got %d)", *retries))
+	}
+	if *resumePath != "" && *journalPath == "" {
+		usageErr("-resume requires -journal: without one, runs completed after the resume point are lost on the next interruption")
+	}
 
 	if *grid != "" {
 		os.Exit(runGrid(*grid, *n, *workers, *out, *journalPath, *resumePath,
@@ -272,14 +279,11 @@ func runGrid(name string, instr uint64, workers int, out, journalPath, resumePat
 	printSweepSummary(info)
 
 	if perfPath != "" {
-		p := perfManifest{Schema: "atr-sweep-perf", Version: 1, Build: obs.Build(), Sweep: info}
 		f, ferr := os.Create(perfPath)
 		if ferr != nil {
 			return fail(ferr)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if eerr := enc.Encode(p); eerr != nil {
+		if eerr := obs.NewPerfManifest(info).Encode(f); eerr != nil {
 			f.Close()
 			return fail(eerr)
 		}

@@ -8,10 +8,12 @@
 //	atrview -trace out.jsonl
 //	atrview -manifest run.json
 //	atrview -journal sweep.jsonl
-//	atrview -sweep grid.json
+//	atrview -sweep grid.json      (also accepts -perf telemetry manifests)
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -87,14 +89,26 @@ func summarizeJournal(path string) {
 	}
 }
 
-// summarizeSweep validates a grid manifest and prints its digest.
+// summarizeSweep validates a sweep artifact and prints its digest. It
+// accepts either a deterministic grid manifest or the scheduling-telemetry
+// perf manifest (atr-sweep-perf) that rides alongside it, sniffing the
+// schema field to tell them apart.
 func summarizeSweep(path string) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		die(err)
 	}
-	defer f.Close()
-	m, err := sweep.DecodeManifest(f)
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	if probe.Schema == obs.PerfManifestSchema {
+		summarizePerf(path, raw)
+		return
+	}
+	m, err := sweep.DecodeManifest(bytes.NewReader(raw))
 	if err != nil {
 		die(err)
 	}
@@ -109,6 +123,44 @@ func summarizeSweep(path string) {
 			fmt.Printf("  FAIL run %d %s/%s prf=%d after %d attempt(s): %s\n",
 				r.Seq, r.Bench, r.Scheme, r.PhysRegs, r.Attempts, r.Err)
 		}
+	}
+}
+
+// summarizePerf digests a scheduling-telemetry manifest: where and when
+// the sweep ran (provenance added by the daemon or atrsweep), how it was
+// scheduled, and per-shard throughput.
+func summarizePerf(path string, raw []byte) {
+	pm, err := obs.DecodePerfManifest(bytes.NewReader(raw))
+	if err != nil {
+		die(err)
+	}
+	info := pm.Sweep
+	fmt.Printf("perf           %s (schema %s v%d, valid)\n", path, pm.Schema, pm.Version)
+	fmt.Printf("build          %s %s\n", pm.Build.GoVersion, pm.Build.Revision)
+	if info.Host != "" || info.JobID != "" {
+		host := info.Host
+		if host == "" {
+			host = "?"
+		}
+		if info.JobID != "" {
+			fmt.Printf("provenance     host %s, server job %s\n", host, info.JobID)
+		} else {
+			fmt.Printf("provenance     host %s\n", host)
+		}
+	}
+	if info.StartedAt != "" {
+		fmt.Printf("window         %s .. %s\n", info.StartedAt, info.FinishedAt)
+	}
+	fmt.Printf("sweep          %d/%d done, %d failed, %d retried, %d resumed\n",
+		info.Done, info.Total, info.Failed, info.Retried, info.Resumed)
+	fmt.Printf("perf           %.2fs wall, %.0f cycles/s, %d journal flushes\n",
+		info.WallSeconds, info.CyclesPerSec, info.JournalFlushes)
+	for _, s := range info.Shards {
+		if s.Runs == 0 {
+			continue
+		}
+		fmt.Printf("  shard %d: %d runs (%d failed), %.2fs busy, %.0f cycles/s\n",
+			s.Worker, s.Runs, s.Failed, s.BusySeconds, s.CyclesPerSec)
 	}
 }
 

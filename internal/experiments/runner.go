@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"container/list"
 	"context"
 	"math"
 	"runtime"
@@ -46,6 +47,12 @@ type RunStats struct {
 	Samples []obs.Sample
 }
 
+// DefaultCacheCap bounds the runner's memoized-result and program caches
+// when CacheCap is unset. It is deliberately generous — an uncapped
+// interactive sweep never notices it — while keeping a long-lived daemon
+// that sees many distinct configs from growing without bound.
+const DefaultCacheCap = 4096
+
 // Runner executes simulations in parallel with memoization: experiments
 // share identical (profile, config) runs.
 type Runner struct {
@@ -61,22 +68,35 @@ type Runner struct {
 	// Set it before the first Prefetch.
 	Workers int
 
+	// CacheCap bounds the memoized-result and generated-program caches
+	// (entries, LRU eviction; <= 0 selects DefaultCacheCap). Eviction is
+	// invisible to callers beyond re-execution cost: simulations are
+	// deterministic, so a re-run of an evicted key returns identical
+	// stats. Set it before the first Run.
+	CacheCap int
+
 	// Prefetch concurrency accounting: inFlight is the number of runs
 	// currently executing on the pool, maxInFlight its high-water mark.
 	// TestPrefetchWorkerBound pins Prefetch to the worker bound with it.
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
 
-	mu    sync.Mutex
-	cache map[string]*sync.Once
-	res   map[string]RunStats
-	sem   chan struct{}
+	mu        sync.Mutex
+	res       map[string]*resEntry
+	lru       *list.List // of string keys; front = most recently used
+	hits      uint64
+	evictions uint64
+	sem       chan struct{}
 
 	// Shared immutable program cache: p.Generate() runs once per profile
 	// (not once per profile×config). Programs are static code images the
-	// pipeline never mutates, so concurrent runs share them freely.
-	progMu sync.Mutex
-	progs  map[string]*progEntry
+	// pipeline never mutates, so concurrent runs share them freely. Like
+	// res it is LRU-bounded by CacheCap; an evicted program still held by
+	// a running simulation stays valid (immutability), the next request
+	// just regenerates it.
+	progMu  sync.Mutex
+	progs   map[string]*progEntry
+	progLRU *list.List
 
 	// Aggregate totals over unique (non-memoized) simulations, for sweep
 	// throughput accounting; guarded by mu.
@@ -85,9 +105,19 @@ type Runner struct {
 	totalCycles uint64
 }
 
+// resEntry is one memoized run. Callers hold the entry pointer across the
+// once, so evicting the key from the maps cannot yank a result out from
+// under a waiter — eviction only forgets, it never invalidates.
+type resEntry struct {
+	once  sync.Once
+	stats RunStats
+	elem  *list.Element
+}
+
 type progEntry struct {
 	once sync.Once
 	prog *program.Program
+	elem *list.Element
 }
 
 // NewRunner creates a runner with the given per-run instruction budget.
@@ -96,12 +126,21 @@ func NewRunner(instr uint64) *Runner {
 		instr = 40_000
 	}
 	return &Runner{
-		Instr: instr,
-		cache: make(map[string]*sync.Once),
-		res:   make(map[string]RunStats),
-		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
-		progs: make(map[string]*progEntry),
+		Instr:   instr,
+		res:     make(map[string]*resEntry),
+		lru:     list.New(),
+		sem:     make(chan struct{}, runtime.GOMAXPROCS(0)),
+		progs:   make(map[string]*progEntry),
+		progLRU: list.New(),
 	}
+}
+
+// cap returns the effective cache bound.
+func (r *Runner) cap() int {
+	if r.CacheCap > 0 {
+		return r.CacheCap
+	}
+	return DefaultCacheCap
 }
 
 // key identifies one memoized run. It is the sweep engine's canonical
@@ -115,45 +154,87 @@ func key(p workload.Profile, cfg config.Config) string {
 }
 
 // Program returns p's generated program, shared across every run of the
-// same profile. The program is generated at most once per runner; callers
-// must treat it as read-only (program.Program is an immutable code image).
+// same profile. The program is generated at most once per cache residency;
+// callers must treat it as read-only (program.Program is an immutable code
+// image), which is also what makes LRU eviction safe — a caller still
+// holding an evicted program keeps a valid image.
 func (r *Runner) Program(p workload.Profile) *program.Program {
 	r.progMu.Lock()
 	e, ok := r.progs[p.Name]
-	if !ok {
+	if ok {
+		r.progLRU.MoveToFront(e.elem)
+	} else {
 		e = &progEntry{}
+		e.elem = r.progLRU.PushFront(p.Name)
 		r.progs[p.Name] = e
+		for r.progLRU.Len() > r.cap() {
+			back := r.progLRU.Back()
+			if back == e.elem {
+				break // never evict the entry being inserted
+			}
+			delete(r.progs, back.Value.(string))
+			r.progLRU.Remove(back)
+		}
 	}
 	r.progMu.Unlock()
 	e.once.Do(func() { e.prog = p.Generate() })
 	return e.prog
 }
 
-// Run simulates profile p under cfg (memoized).
+// Run simulates profile p under cfg (memoized, LRU-bounded by CacheCap).
 func (r *Runner) Run(p workload.Profile, cfg config.Config) RunStats {
 	k := key(p, cfg)
 	r.mu.Lock()
-	once, ok := r.cache[k]
-	if !ok {
-		once = &sync.Once{}
-		r.cache[k] = once
+	e, ok := r.res[k]
+	if ok {
+		r.hits++
+		if e.elem != nil {
+			r.lru.MoveToFront(e.elem)
+		}
+	} else {
+		e = &resEntry{}
+		e.elem = r.lru.PushFront(k)
+		r.res[k] = e
+		r.evictLocked(e)
 	}
 	r.mu.Unlock()
 
-	once.Do(func() {
+	e.once.Do(func() {
 		r.sem <- struct{}{}
 		defer func() { <-r.sem }()
-		stats := simulate(r.Program(p), cfg, r.Instr, r.SampleInterval)
+		e.stats = simulate(r.Program(p), cfg, r.Instr, r.SampleInterval)
 		r.mu.Lock()
-		r.res[k] = stats
 		r.nRuns++
-		r.totalInstr += stats.Committed
-		r.totalCycles += stats.Cycles
+		r.totalInstr += e.stats.Committed
+		r.totalCycles += e.stats.Cycles
 		r.mu.Unlock()
 	})
+	return e.stats
+}
+
+// evictLocked trims the result cache to CacheCap, sparing keep (the entry
+// being inserted). Caller holds r.mu.
+func (r *Runner) evictLocked(keep *resEntry) {
+	for r.lru.Len() > r.cap() {
+		back := r.lru.Back()
+		k := back.Value.(string)
+		victim := r.res[k]
+		if victim == keep {
+			break
+		}
+		r.lru.Remove(back)
+		victim.elem = nil
+		delete(r.res, k)
+		r.evictions++
+	}
+}
+
+// CacheStats reports memo-cache effectiveness: cumulative hits and
+// evictions, and the current number of resident results.
+func (r *Runner) CacheStats() (hits, evictions uint64, size int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.res[k]
+	return r.hits, r.evictions, len(r.res)
 }
 
 // Totals returns the number of unique simulations executed and the summed

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/workload"
+)
+
+// lruConfigs returns n distinct configs (distinct register-file sizes).
+func lruConfigs(n int) []config.Config {
+	cfgs := make([]config.Config, n)
+	for i := range cfgs {
+		cfgs[i] = config.GoldenCove().WithPhysRegs(64 + 8*i)
+	}
+	return cfgs
+}
+
+// TestRunnerCacheHitEvict pins the LRU contract: repeats hit, the resident
+// set never exceeds the cap, and the least-recently-used entry is the one
+// that gets evicted (its re-run is a miss that re-executes).
+func TestRunnerCacheHitEvict(t *testing.T) {
+	p := workload.Micro(7)
+	cfgs := lruConfigs(3)
+	r := NewRunner(1200)
+	r.CacheCap = 2
+
+	a, b, c := cfgs[0], cfgs[1], cfgs[2]
+	r.Run(p, a) // miss: {a}
+	r.Run(p, b) // miss: {b, a}
+	if hits, ev, size := r.CacheStats(); hits != 0 || ev != 0 || size != 2 {
+		t.Fatalf("after 2 misses: hits=%d evictions=%d size=%d, want 0/0/2", hits, ev, size)
+	}
+	r.Run(p, a) // hit, refreshes a: {a, b}
+	if hits, _, _ := r.CacheStats(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	r.Run(p, c) // miss, evicts b (LRU): {c, a}
+	if hits, ev, size := r.CacheStats(); hits != 1 || ev != 1 || size != 2 {
+		t.Fatalf("after eviction: hits=%d evictions=%d size=%d, want 1/1/2", hits, ev, size)
+	}
+	r.Run(p, a) // still resident: hit
+	if hits, _, _ := r.CacheStats(); hits != 2 {
+		t.Fatalf("hits = %d, want 2 (a must have survived)", hits)
+	}
+	r.Run(p, b) // b was evicted: miss that re-executes, evicting c
+	runs, _, _ := r.Totals()
+	if runs != 4 {
+		t.Fatalf("unique executions = %d, want 4 (a, b, c, and b again)", runs)
+	}
+	if _, ev, size := r.CacheStats(); ev != 2 || size != 2 {
+		t.Fatalf("final evictions=%d size=%d, want 2/2", ev, size)
+	}
+}
+
+// TestRunnerCappedMatchesUncapped is the correctness half of the satellite:
+// a cap small enough to thrash (1 entry for 5 configs revisited twice)
+// changes how often simulations execute, never what they return.
+func TestRunnerCappedMatchesUncapped(t *testing.T) {
+	p := workload.Micro(11)
+	cfgs := lruConfigs(5)
+
+	uncapped := NewRunner(1500)
+	capped := NewRunner(1500)
+	capped.CacheCap = 1
+
+	for pass := 0; pass < 2; pass++ {
+		for i, cfg := range cfgs {
+			want := uncapped.Run(p, cfg)
+			got := capped.Run(p, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pass %d cfg %d: capped result differs from uncapped", pass, i)
+			}
+		}
+	}
+	uruns, _, _ := uncapped.Totals()
+	cruns, _, _ := capped.Totals()
+	if uruns != len(cfgs) {
+		t.Errorf("uncapped executed %d runs, want %d (second pass all hits)", uruns, len(cfgs))
+	}
+	if cruns != 2*len(cfgs) {
+		t.Errorf("capped executed %d runs, want %d (cap 1 thrashes every revisit)", cruns, 2*len(cfgs))
+	}
+	if _, _, size := capped.CacheStats(); size != 1 {
+		t.Errorf("capped resident size = %d, want 1", size)
+	}
+}
+
+// TestRunnerProgramCacheBounded proves the program cache obeys the same cap
+// and that regenerated programs are identical images (generation is a pure
+// function of the profile).
+func TestRunnerProgramCacheBounded(t *testing.T) {
+	r := NewRunner(1000)
+	r.CacheCap = 2
+	var ps []workload.Profile
+	for i := 0; i < 4; i++ {
+		p := workload.Micro(uint64(20 + i))
+		p.Name = fmt.Sprintf("lru-prog-%d", i)
+		ps = append(ps, p)
+	}
+	first := r.Program(ps[0])
+	for _, p := range ps {
+		r.Program(p)
+	}
+	// ps[0] was evicted by ps[2]; a fresh request regenerates, yielding a
+	// distinct pointer but an identical image.
+	again := r.Program(ps[0])
+	if first == again {
+		t.Fatalf("program for %s not evicted under cap 2", ps[0].Name)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("regenerated program for %s differs from original", ps[0].Name)
+	}
+	// A profile still under the cap keeps its pointer identity.
+	p3 := r.Program(ps[3])
+	if r.Program(ps[3]) != p3 {
+		t.Fatalf("resident program lost pointer identity")
+	}
+}

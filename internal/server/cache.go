@@ -1,0 +1,87 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"atr/internal/sweep"
+)
+
+// runCache is the daemon's content-addressed result cache: completed run
+// records keyed by the sweep engine's SHA-256 run key plus the instruction
+// budget (the one run parameter the key does not cover). Identical runs
+// submitted by any client — inside any grid — are served from here without
+// re-simulating; because records are deterministic in (profile, config,
+// instr), a cached record is byte-for-byte the record a fresh simulation
+// would produce, so cache hits cannot perturb manifest identity.
+type runCache struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List // of string cache keys; front = most recent
+	byKey  map[string]*cacheEntry
+	hits   int
+	misses int
+}
+
+type cacheEntry struct {
+	rec  sweep.Record
+	elem *list.Element
+}
+
+func newRunCache(capacity int) *runCache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &runCache{cap: capacity, lru: list.New(), byKey: make(map[string]*cacheEntry)}
+}
+
+func cacheKey(runKey string, instr uint64) string {
+	return fmt.Sprintf("%s@%d", runKey, instr)
+}
+
+// get returns the cached record for (runKey, instr), if any.
+func (c *runCache) get(runKey string, instr uint64) (sweep.Record, bool) {
+	k := cacheKey(runKey, instr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return sweep.Record{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e.rec, true
+}
+
+// put stores a successful record. Failed records are never cached: a retry
+// of the same unit must actually re-execute.
+func (c *runCache) put(runKey string, instr uint64, rec sweep.Record) {
+	if rec.Err != "" {
+		return
+	}
+	k := cacheKey(runKey, instr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[k]; ok {
+		e.rec = rec
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{rec: rec}
+	e.elem = c.lru.PushFront(k)
+	c.byKey[k] = e
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.byKey, back.Value.(string))
+		c.lru.Remove(back)
+	}
+}
+
+// stats snapshots cache effectiveness counters.
+func (c *runCache) stats() (hits, misses, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len(), c.cap
+}

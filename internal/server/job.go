@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"atr/internal/config"
+	"atr/internal/obs"
+	"atr/internal/sweep"
+	"atr/internal/workload"
+)
+
+// JobSpec is what a client submits: a single run, a named grid preset, or
+// an arbitrary declared grid. Specs are persisted verbatim in the state
+// dir, so a restarted daemon can rebuild the exact grid and resume it.
+type JobSpec struct {
+	// Kind is "run" (one simulation) or "grid" (a declared sweep).
+	Kind string `json:"kind"`
+
+	// Instr is the per-run instruction budget; 0 selects the daemon's
+	// default.
+	Instr uint64 `json:"instr,omitempty"`
+
+	// Grid names a preset (fig10, full, micro) for Kind "grid". Empty
+	// with Kind "grid" declares a custom grid from the fields below.
+	Grid string `json:"grid,omitempty"`
+
+	// Custom-grid declaration (Kind "grid", Grid empty): the cross
+	// product of profiles × register-file sizes × schemes, exactly as
+	// sweep.Grid expands it.
+	Name     string   `json:"name,omitempty"` // custom grid label (default "custom")
+	Profiles []string `json:"profiles,omitempty"`
+	PhysRegs []int    `json:"phys_regs,omitempty"`
+	Schemes  []string `json:"schemes,omitempty"`
+
+	// Single-run declaration (Kind "run").
+	Bench  string `json:"bench,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	Regs   int    `json:"regs,omitempty"` // 0 selects the base config's size
+
+	// Ephemeral ties the job to the submitting connection: if the client
+	// that submitted with ?watch=1 disconnects mid-stream, the job is
+	// cancelled (its journal stays resumable). Ephemeral jobs are not
+	// resurrected after a daemon restart.
+	Ephemeral bool `json:"ephemeral,omitempty"`
+}
+
+// grid resolves the spec into the sweep grid it declares. defaultInstr
+// fills in a zero budget. The resolution is pure, so a persisted spec
+// rebuilds the identical grid (same name, same unit keys) after a restart.
+func (s JobSpec) grid(defaultInstr uint64) (sweep.Grid, error) {
+	instr := s.Instr
+	if instr == 0 {
+		instr = defaultInstr
+	}
+	switch s.Kind {
+	case "run":
+		p, ok := workload.ByName(s.Bench)
+		if !ok {
+			return sweep.Grid{}, fmt.Errorf("unknown bench %q", s.Bench)
+		}
+		base := config.GoldenCove()
+		g := sweep.Grid{
+			Name:     "run",
+			Instr:    instr,
+			Base:     base,
+			Profiles: []workload.Profile{p},
+		}
+		if s.Scheme != "" {
+			sc, err := config.ParseScheme(s.Scheme)
+			if err != nil {
+				return sweep.Grid{}, err
+			}
+			g.Schemes = []config.ReleaseScheme{sc}
+		}
+		if s.Regs != 0 {
+			g.PhysRegs = []int{s.Regs}
+		}
+		return g, nil
+	case "grid":
+		if s.Grid != "" {
+			return sweep.GridByName(s.Grid, instr)
+		}
+		if len(s.Profiles) == 0 {
+			return sweep.Grid{}, fmt.Errorf("custom grid declares no profiles")
+		}
+		g := sweep.Grid{
+			Name:  s.Name,
+			Instr: instr,
+			Base:  config.GoldenCove(),
+		}
+		if g.Name == "" {
+			g.Name = "custom"
+		}
+		for _, name := range s.Profiles {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return sweep.Grid{}, fmt.Errorf("unknown profile %q", name)
+			}
+			g.Profiles = append(g.Profiles, p)
+		}
+		g.PhysRegs = s.PhysRegs
+		for _, name := range s.Schemes {
+			sc, err := config.ParseScheme(name)
+			if err != nil {
+				return sweep.Grid{}, err
+			}
+			g.Schemes = append(g.Schemes, sc)
+		}
+		return g, nil
+	}
+	return sweep.Grid{}, fmt.Errorf("unknown job kind %q (want run or grid)", s.Kind)
+}
+
+// Job states. queued → running → one of the terminal states; interrupted
+// is the shutdown parking state a restarted daemon re-queues from.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted"
+)
+
+// terminal reports whether a state is final for this daemon process.
+func terminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCancelled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// Event is one line of a job's NDJSON/SSE stream.
+type Event struct {
+	Type     string             `json:"type"` // "status" or "progress"
+	Job      string             `json:"job"`
+	State    string             `json:"state,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Progress *obs.SweepProgress `json:"progress,omitempty"`
+}
+
+// Status is the job view returned by the HTTP API.
+type Status struct {
+	ID          string            `json:"id"`
+	State       string            `json:"state"`
+	Spec        JobSpec           `json:"spec"`
+	Grid        string            `json:"grid"`
+	Total       int               `json:"total"`
+	Error       string            `json:"error,omitempty"`
+	Progress    obs.SweepProgress `json:"progress"`
+	SubmittedAt string            `json:"submitted_at,omitempty"`
+}
+
+// Job is one submitted unit of work.
+type Job struct {
+	ID          string
+	Spec        JobSpec
+	GridName    string
+	Total       int
+	SubmittedAt string
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	progress  obs.SweepProgress
+	cancelled bool // client-requested (vs shutdown) cancellation
+	cancel    context.CancelFunc
+	subs      map[chan Event]struct{}
+	done      chan struct{}
+}
+
+func newJob(id string, spec JobSpec, gridName string, total int, submittedAt string) *Job {
+	return &Job{
+		ID: id, Spec: spec, GridName: gridName, Total: total,
+		SubmittedAt: submittedAt,
+		state:       StateQueued,
+		subs:        make(map[chan Event]struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, State: j.state, Spec: j.Spec, Grid: j.GridName,
+		Total: j.Total, Error: j.err, Progress: j.progress,
+		SubmittedAt: j.SubmittedAt,
+	}
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// subscribe registers an event channel and returns it primed with a status
+// snapshot, plus an unsubscribe func. Events are dropped, never blocked on,
+// if the subscriber falls more than a buffer behind — except the terminal
+// status, which is delivered via the snapshot-on-subscribe + Done pattern.
+func (j *Job) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 256)
+	j.mu.Lock()
+	ch <- Event{Type: "status", Job: j.ID, State: j.state, Error: j.err}
+	if terminal(j.state) {
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// publish fans a progress tick out to subscribers (engine-serialized).
+func (j *Job) publish(p obs.SweepProgress) {
+	j.mu.Lock()
+	j.progress = p
+	ev := Event{Type: "progress", Job: j.ID, Progress: &p}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow watcher: drop the tick, the final status still arrives
+		}
+	}
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued → running, installing the cancel func.
+// It returns false if the job is no longer runnable (cancelled while
+// queued).
+func (j *Job) setRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.broadcastLocked(Event{Type: "status", Job: j.ID, State: j.state})
+	return true
+}
+
+// finish moves the job to a terminal state and wakes everything waiting.
+func (j *Job) finish(state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, errMsg)
+}
+
+func (j *Job) finishLocked(state, errMsg string) {
+	if terminal(j.state) {
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.broadcastLocked(Event{Type: "status", Job: j.ID, State: state, Error: errMsg})
+	for ch := range j.subs {
+		delete(j.subs, ch)
+		close(ch)
+	}
+	close(j.done)
+}
+
+func (j *Job) broadcastLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// requestCancel flags the job as client-cancelled and, if running, cancels
+// its context. A queued job is finished immediately (the worker's
+// setRunning then refuses it); a running one reaches the terminal state
+// when its engine returns. The queued-vs-running decision happens under
+// the same lock setRunning takes, so exactly one path applies.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.cancelled = true
+	if j.state == StateQueued {
+		j.finishLocked(StateCancelled, "cancelled before start")
+		j.mu.Unlock()
+		return
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// wasCancelled reports whether a client asked for cancellation.
+func (j *Job) wasCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}

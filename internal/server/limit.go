@@ -1,0 +1,91 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter for job submissions.
+// Each client (X-ATR-Client header, else the remote IP) gets a bucket
+// refilled at rate tokens/sec up to burst; a submission costs one token.
+// When a bucket is dry the limiter reports how long until the next token,
+// which the handler surfaces as Retry-After on a 429.
+type limiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// clientKey identifies the caller for rate-limiting purposes.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-ATR-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// allow consumes one token from key's bucket. When refused it returns the
+// wait until a token is available, rounded up to whole seconds for the
+// Retry-After header.
+func (l *limiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[key]
+	if !found {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+		l.pruneLocked(now)
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	ceil := wait.Truncate(time.Second)
+	if ceil < wait {
+		ceil += time.Second
+	}
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	return false, ceil
+}
+
+// pruneLocked drops buckets that have been idle long enough to be full
+// again (they carry no information), bounding the map against client churn.
+func (l *limiter) pruneLocked(now time.Time) {
+	if len(l.buckets) < 4096 {
+		return
+	}
+	for k, b := range l.buckets {
+		if now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,799 @@
+// Package server is atrd's serving layer: a long-running HTTP daemon that
+// accepts simulation and sweep jobs, executes them on the sweep engine's
+// work-stealing pool, and streams progress as NDJSON/SSE.
+//
+// The correctness contract of the whole subsystem is manifest parity: the
+// manifest served for any grid is byte-identical to what offline atrsweep
+// produces for the same grid. Everything the daemon adds — the bounded job
+// queue, per-client rate limiting, the content-addressed result cache,
+// graceful drain and restart resume — is built from mechanisms that the
+// sweep engine already proves deterministic (run keys, journals, resume
+// merge), so serving infrastructure cannot perturb a byte of a result.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"atr/internal/experiments"
+	"atr/internal/obs"
+	"atr/internal/pipeline"
+	"atr/internal/sweep"
+)
+
+// Options configures a daemon.
+type Options struct {
+	// StateDir holds per-job specs, journals, and manifests. It is the
+	// daemon's durable memory: a restarted daemon resumes every
+	// incomplete non-ephemeral job found here.
+	StateDir string
+
+	// DefaultInstr is the per-run instruction budget applied to specs
+	// that leave Instr zero (0 selects 40000).
+	DefaultInstr uint64
+
+	// SimWorkers bounds each job's simulation pool (<= 0 selects
+	// GOMAXPROCS); JobWorkers bounds how many jobs execute concurrently
+	// (<= 0 selects 2).
+	SimWorkers int
+	JobWorkers int
+
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are refused with 429 + Retry-After
+	// (<= 0 selects 64).
+	QueueDepth int
+
+	// Rate and Burst shape the per-client submission token bucket
+	// (Rate 0 selects 5/sec; negative disables limiting; Burst <= 0
+	// selects 10).
+	Rate  float64
+	Burst int
+
+	// CacheCap bounds the content-addressed run-record cache (<= 0
+	// selects 65536 records).
+	CacheCap int
+
+	// RunnerCacheCap bounds the shared experiments.Runner program cache
+	// (<= 0 selects its default).
+	RunnerCacheCap int
+
+	// Retries and Backoff are passed to each job's sweep engine.
+	Retries int
+	Backoff time.Duration
+}
+
+// Server is the daemon. It implements http.Handler.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	runner  *experiments.Runner // shared across jobs: program cache
+	cache   *runCache
+	limiter *limiter
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	pending []*Job
+	closed  bool
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string
+	nextID      int
+	startedAt   time.Time
+	submitted   int
+	doneCount   int
+	failedCount int
+	cancelCount int
+	recovered   int
+	rateLimited int
+	runsExec    int
+	runsCached  int
+
+	// beforeRun, when non-nil, is called by a worker after a job enters
+	// the running state and before its engine starts. Tests use it to
+	// hold jobs in flight deterministically.
+	beforeRun func(*Job)
+}
+
+// persistedJob is the on-disk spec record binding an ID to its submission.
+type persistedJob struct {
+	ID          string  `json:"id"`
+	SubmittedAt string  `json:"submitted_at"`
+	Spec        JobSpec `json:"spec"`
+}
+
+// statusFile marks a terminal non-done outcome so a restart does not
+// resurrect the job. Done jobs are marked by their manifest instead, and
+// interrupted jobs deliberately leave no marker — that is what makes them
+// resumable.
+type statusFile struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// New creates a daemon over a state directory, recovers incomplete jobs
+// from it, and starts the job workers.
+func New(opts Options) (*Server, error) {
+	if opts.DefaultInstr == 0 {
+		opts.DefaultInstr = 40_000
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Rate == 0 {
+		opts.Rate = 5
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 10
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 1
+	}
+	if opts.StateDir == "" {
+		return nil, errors.New("server: StateDir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.StateDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		runner:     experiments.NewRunner(opts.DefaultInstr),
+		cache:      newRunCache(opts.CacheCap),
+		limiter:    newLimiter(opts.Rate, opts.Burst),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*Job),
+		nextID:     1,
+		startedAt:  time.Now(),
+	}
+	s.runner.CacheCap = opts.RunnerCacheCap
+	s.qcond = sync.NewCond(&s.qmu)
+	s.routes()
+
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < opts.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shutdown gracefully drains the daemon: no new jobs start, running
+// engines are cancelled (their in-flight runs complete and are journaled),
+// and incomplete jobs park as interrupted — a later New over the same
+// state dir re-queues and resumes them. It returns ctx.Err() if the drain
+// outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	s.closed = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+	s.cancelBase()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// recover scans the state dir: done jobs are indexed for serving, terminal
+// failures/cancellations keep their state, and everything else — including
+// jobs interrupted by the previous daemon's shutdown or kill — re-queues
+// with its journal as the resume source.
+func (s *Server) recover() error {
+	dir := filepath.Join(s.opts.StateDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("server: scan state: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b, err := os.ReadFile(filepath.Join(dir, id, "spec.json"))
+		if err != nil {
+			continue // half-created job dir: nothing recoverable
+		}
+		var pj persistedJob
+		if err := json.Unmarshal(b, &pj); err != nil || pj.ID != id {
+			continue
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		g, err := pj.Spec.grid(s.opts.DefaultInstr)
+		if err != nil {
+			continue // spec no longer resolvable (e.g. renamed profile)
+		}
+		j := newJob(id, pj.Spec, g.Name, len(g.Units()), pj.SubmittedAt)
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+
+		switch {
+		case fileExists(s.jobFile(id, "manifest.json")):
+			j.finish(StateDone, "")
+		case fileExists(s.jobFile(id, "status.json")):
+			var st statusFile
+			if b, err := os.ReadFile(s.jobFile(id, "status.json")); err == nil {
+				_ = json.Unmarshal(b, &st)
+			}
+			if st.State == "" {
+				st.State = StateFailed
+			}
+			j.finish(st.State, st.Error)
+		case pj.Spec.Ephemeral:
+			// The watcher that owned this job is gone with the old
+			// daemon; treat the job as cancelled by disconnect.
+			s.writeStatus(j, StateCancelled, "daemon restarted; ephemeral owner gone")
+			j.finish(StateCancelled, "daemon restarted; ephemeral owner gone")
+		default:
+			s.recovered++
+			s.pending = append(s.pending, j)
+		}
+	}
+	return nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.opts.StateDir, "jobs", id)
+}
+
+func (s *Server) jobFile(id, name string) string {
+	return filepath.Join(s.jobDir(id), name)
+}
+
+// writeStatus persists a terminal non-done state marker.
+func (s *Server) writeStatus(j *Job, state, errMsg string) {
+	b, _ := json.Marshal(statusFile{State: state, Error: errMsg})
+	_ = os.WriteFile(s.jobFile(j.ID, "status.json"), append(b, '\n'), 0o644)
+}
+
+// submit validates, persists, and queues a job. It is the only admission
+// path, and enforces the queue bound.
+func (s *Server) submit(spec JobSpec) (*Job, error, int) {
+	g, err := spec.grid(s.opts.DefaultInstr)
+	if err != nil {
+		return nil, err, http.StatusBadRequest
+	}
+	units := g.Units()
+	if len(units) == 0 {
+		return nil, fmt.Errorf("grid %q is empty", g.Name), http.StatusBadRequest
+	}
+
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		return nil, errors.New("daemon is shutting down"), http.StatusServiceUnavailable
+	}
+	if len(s.pending) >= s.opts.QueueDepth {
+		s.qmu.Unlock()
+		return nil, fmt.Errorf("job queue is full (%d queued)", s.opts.QueueDepth), http.StatusTooManyRequests
+	}
+	s.qmu.Unlock()
+
+	s.mu.Lock()
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.nextID++
+	now := time.Now().UTC().Format(time.RFC3339Nano)
+	j := newJob(id, spec, g.Name, len(units), now)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.submitted++
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
+		j.finish(StateFailed, err.Error())
+		return nil, err, http.StatusInternalServerError
+	}
+	b, _ := json.MarshalIndent(persistedJob{ID: id, SubmittedAt: now, Spec: spec}, "", "  ")
+	if err := os.WriteFile(s.jobFile(id, "spec.json"), append(b, '\n'), 0o644); err != nil {
+		j.finish(StateFailed, err.Error())
+		return nil, err, http.StatusInternalServerError
+	}
+
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		j.finish(StateInterrupted, "daemon is shutting down")
+		return nil, errors.New("daemon is shutting down"), http.StatusServiceUnavailable
+	}
+	s.pending = append(s.pending, j)
+	s.qcond.Signal()
+	s.qmu.Unlock()
+	return j, nil, 0
+}
+
+// worker pulls queued jobs and executes them until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.nextJob()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+func (s *Server) nextJob() *Job {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if len(s.pending) > 0 {
+			j := s.pending[0]
+			s.pending = s.pending[1:]
+			return j
+		}
+		s.qcond.Wait()
+	}
+}
+
+// runJob executes one job on a sweep engine: journal to the job dir,
+// resume from any prior journal plus the result cache, and on success
+// write the deterministic manifest (the exact bytes Manifest.Encode
+// produces — the same encoder offline atrsweep uses, which is what makes
+// served and offline manifests comparable with cmp).
+func (s *Server) runJob(j *Job) {
+	g, err := j.Spec.grid(s.opts.DefaultInstr)
+	if err != nil {
+		s.writeStatus(j, StateFailed, err.Error())
+		s.countFinish(j, StateFailed)
+		j.finish(StateFailed, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.setRunning(cancel) {
+		return // cancelled while queued
+	}
+	if hook := s.beforeRun; hook != nil {
+		hook(j)
+	}
+
+	resume := s.resumeFor(j, g)
+
+	jf, err := os.OpenFile(s.jobFile(j.ID, "journal.jsonl"), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		s.writeStatus(j, StateFailed, err.Error())
+		s.countFinish(j, StateFailed)
+		j.finish(StateFailed, err.Error())
+		return
+	}
+
+	eng := sweep.New(sweep.Options{
+		Workers:    s.opts.SimWorkers,
+		Retries:    s.opts.Retries,
+		Backoff:    s.opts.Backoff,
+		Journal:    jf,
+		Resume:     resume,
+		JobID:      j.ID,
+		OnProgress: j.publish,
+	})
+	m, execErr := eng.Execute(ctx, g, s.runFunc(g.Instr))
+	jf.Close()
+
+	info := eng.Info()
+	if pf, err := os.Create(s.jobFile(j.ID, "perf.json")); err == nil {
+		_ = obs.NewPerfManifest(info).Encode(pf)
+		pf.Close()
+	}
+
+	if execErr != nil {
+		switch {
+		case j.wasCancelled():
+			s.writeStatus(j, StateCancelled, "cancelled")
+			s.countFinish(j, StateCancelled)
+			j.finish(StateCancelled, "cancelled")
+		case s.baseCtx.Err() != nil:
+			// Shutdown drain: no status marker, so the journal makes the
+			// job resumable by the next daemon.
+			j.finish(StateInterrupted, "daemon shutdown; journaled runs will resume")
+		default:
+			s.writeStatus(j, StateFailed, execErr.Error())
+			s.countFinish(j, StateFailed)
+			j.finish(StateFailed, execErr.Error())
+		}
+		return
+	}
+
+	var buf strings.Builder
+	if err := m.Encode(&buf); err != nil {
+		s.writeStatus(j, StateFailed, err.Error())
+		s.countFinish(j, StateFailed)
+		j.finish(StateFailed, err.Error())
+		return
+	}
+	tmp := s.jobFile(j.ID, "manifest.json.tmp")
+	if err := os.WriteFile(tmp, []byte(buf.String()), 0o644); err == nil {
+		err = os.Rename(tmp, s.jobFile(j.ID, "manifest.json"))
+		if err != nil {
+			s.writeStatus(j, StateFailed, err.Error())
+			s.countFinish(j, StateFailed)
+			j.finish(StateFailed, err.Error())
+			return
+		}
+	} else {
+		s.writeStatus(j, StateFailed, err.Error())
+		s.countFinish(j, StateFailed)
+		j.finish(StateFailed, err.Error())
+		return
+	}
+
+	for _, rec := range m.Runs {
+		s.cache.put(rec.Key, g.Instr, rec)
+	}
+	s.countFinish(j, StateDone)
+	j.finish(StateDone, "")
+}
+
+// countFinish updates the terminal-state counters.
+func (s *Server) countFinish(j *Job, state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch state {
+	case StateDone:
+		s.doneCount++
+	case StateFailed:
+		s.failedCount++
+	case StateCancelled:
+		s.cancelCount++
+	}
+}
+
+// resumeFor builds the job's resume source: the job's own journal from a
+// previous daemon life, topped up with content-addressed cache records for
+// every remaining unit. The engine treats both identically — resumed runs
+// are re-journaled and merge into the manifest exactly as executed runs
+// would, which is why cache hits cannot change a served byte.
+func (s *Server) resumeFor(j *Job, g sweep.Grid) *sweep.Journal {
+	resume := &sweep.Journal{Grid: g.Name, Instr: g.Instr, Records: make(map[string]sweep.Record)}
+	if f, err := os.Open(s.jobFile(j.ID, "journal.jsonl")); err == nil {
+		if prev, err := sweep.LoadJournal(f); err == nil && prev.Grid == g.Name && prev.Instr == g.Instr {
+			for k, rec := range prev.Records {
+				resume.Records[k] = rec
+			}
+		}
+		f.Close()
+	}
+	cached := 0
+	for _, u := range g.Units() {
+		if _, ok := resume.Records[u.Key]; ok {
+			continue
+		}
+		if rec, ok := s.cache.get(u.Key, g.Instr); ok {
+			resume.Records[u.Key] = rec
+			cached++
+		}
+	}
+	if cached > 0 {
+		s.mu.Lock()
+		s.runsCached += cached
+		s.mu.Unlock()
+	}
+	return resume
+}
+
+// runFunc is the serving layer's RunFunc: identical simulation semantics
+// to offline sweep.Sim, with the program image shared across jobs through
+// the daemon's experiments.Runner.
+func (s *Server) runFunc(instr uint64) sweep.RunFunc {
+	return func(ctx context.Context, u sweep.Unit) (pipeline.Result, error) {
+		if err := u.Config.Validate(); err != nil {
+			return pipeline.Result{}, err
+		}
+		prog := s.runner.Program(u.Profile)
+		res := pipeline.NewWithScheduler(u.Config, prog, pipeline.SchedulerEvent).Run(instr)
+		s.mu.Lock()
+		s.runsExec++
+		s.mu.Unlock()
+		return res, nil
+	}
+}
+
+// Metrics snapshots the daemon's /metrics view.
+func (s *Server) Metrics() obs.ServerInfo {
+	hits, misses, size, capacity := s.cache.stats()
+	s.qmu.Lock()
+	queued := len(s.pending)
+	s.qmu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.State() == StateRunning {
+			running++
+		}
+	}
+	return obs.ServerInfo{
+		Build:         obs.Build(),
+		StartedAt:     s.startedAt.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds: time.Since(s.startedAt).Seconds(),
+		JobsSubmitted: s.submitted,
+		JobsQueued:    queued,
+		JobsRunning:   running,
+		JobsDone:      s.doneCount,
+		JobsFailed:    s.failedCount,
+		JobsCancelled: s.cancelCount,
+		JobsRecovered: s.recovered,
+		QueueCap:      s.opts.QueueDepth,
+		RateLimited:   s.rateLimited,
+		RunsExecuted:  s.runsExec,
+		RunsFromCache: s.runsCached,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     size,
+		CacheCap:      capacity,
+	}
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/perf", s.handlePerf)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+	State string `json:"state,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.qmu.Lock()
+	closed := s.closed
+	s.qmu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if ok, retry := s.limiter.allow(clientKey(r), time.Now()); !ok {
+		s.mu.Lock()
+		s.rateLimited++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "rate limit exceeded"})
+		return
+	}
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	j, err, code := s.submit(spec)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+
+	if r.URL.Query().Get("watch") != "1" {
+		writeJSON(w, http.StatusAccepted, j.Status())
+		return
+	}
+	// The submitting connection watches the job. Ephemeral jobs live and
+	// die with it: a disconnect cancels the job context.
+	if spec.Ephemeral {
+		go func() {
+			select {
+			case <-r.Context().Done():
+				j.requestCancel()
+			case <-j.Done():
+			}
+		}()
+	}
+	s.streamEvents(w, r, j)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].Status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job " + r.PathValue("id")})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		s.streamEvents(w, r, j)
+	}
+}
+
+// streamEvents writes the job's live event feed until the job finishes or
+// the client goes away. NDJSON by default; SSE when the client asks for
+// text/event-stream.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	writeEvent := func(ev Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	events, unsub := j.subscribe()
+	defer unsub()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				// Terminal: the broadcast may have been dropped for a
+				// slow reader, so always close with a status snapshot.
+				st := j.Status()
+				writeEvent(Event{Type: "status", Job: j.ID, State: st.State, Error: st.Error})
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleManifest serves the deterministic result manifest: the exact bytes
+// written at job completion. Comparing this response with an offline
+// atrsweep -out file via cmp is the subsystem's acceptance check.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if st := j.State(); st != StateDone {
+		writeJSON(w, http.StatusConflict, apiError{Error: "manifest not available", State: st})
+		return
+	}
+	s.serveFile(w, s.jobFile(j.ID, "manifest.json"))
+}
+
+func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	path := s.jobFile(j.ID, "perf.json")
+	if !fileExists(path) {
+		writeJSON(w, http.StatusConflict, apiError{Error: "perf telemetry not available", State: j.State()})
+		return
+	}
+	s.serveFile(w, path)
+}
+
+func (s *Server) serveFile(w http.ResponseWriter, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, f)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -48,6 +49,11 @@ type Options struct {
 	// The panic is recovered, retried, and recorded as a failed run — the
 	// fault-injection hook proving one poisoned run cannot kill a sweep.
 	InjectPanic int
+
+	// JobID, when non-empty, names the server job this sweep executes on
+	// behalf of. It is provenance only: it flows into SweepInfo, never the
+	// deterministic manifest.
+	JobID string
 }
 
 // Engine executes sweep grids. One engine may be reused; each Execute
@@ -140,7 +146,14 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 		pending = append(pending, i)
 	}
 
+	host, _ := os.Hostname()
 	start := time.Now()
+	e.mu.Lock()
+	e.info.Host = host
+	e.info.JobID = e.opts.JobID
+	e.info.StartedAt = start.UTC().Format(time.RFC3339Nano)
+	e.mu.Unlock()
+
 	poolErr := e.pool.ForEach(ctx, len(pending), func(worker, j int) {
 		u := units[pending[j]]
 		t0 := time.Now()
@@ -164,9 +177,11 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 
 		e.finishRun(u, rec, worker, false)
 	})
-	wall := time.Since(start).Seconds()
+	end := time.Now()
+	wall := end.Sub(start).Seconds()
 
 	e.mu.Lock()
+	e.info.FinishedAt = end.UTC().Format(time.RFC3339Nano)
 	e.info.WallSeconds = wall
 	e.info.Shards = append([]obs.ShardStat(nil), e.shards...)
 	var execCycles uint64

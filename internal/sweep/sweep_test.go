@@ -285,6 +285,49 @@ func TestSweepCancel(t *testing.T) {
 	}
 }
 
+// TestSweepCancelStopsInFlightPromptly pins the drain contract the serving
+// layer depends on: once the context is cancelled, Execute returns as soon
+// as the in-flight runs notice — it does not start queued work, and a
+// RunFunc that honours ctx unblocks the whole sweep promptly.
+func TestSweepCancelStopsInFlightPromptly(t *testing.T) {
+	g := testGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var started atomic.Int32
+	release := make(chan struct{})
+	fn := func(ctx context.Context, u Unit) (pipeline.Result, error) {
+		if started.Add(1) == 1 {
+			close(release) // first run is in flight: trigger the cancel
+		}
+		<-ctx.Done() // a ctx-honouring run blocks until cancellation
+		return pipeline.Result{}, ctx.Err()
+	}
+
+	eng := New(Options{Workers: 2})
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Execute(ctx, g, fn)
+		done <- err
+	}()
+
+	<-release
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Execute error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not return within 5s of cancellation")
+	}
+	// Only the runs already in flight at cancel time may have started: the
+	// pool must not pick up queued items afterwards.
+	if n := started.Load(); n > 2 {
+		t.Errorf("%d runs started, want <= 2 (the worker count)", n)
+	}
+}
+
 // lockedBuffer makes bytes.Buffer safe for the engine's journal writes
 // racing the test's final read.
 type lockedBuffer struct {
