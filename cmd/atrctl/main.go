@@ -13,7 +13,7 @@
 //	cancel   <job>
 //	list
 //	health
-//	metrics
+//	metrics  [-prom]        daemon counters (JSON; -prom: Prometheus text)
 //
 // Exit status: 0 success (watch/wait: job done), 1 operational error or
 // job failure, 2 usage error.
@@ -71,7 +71,7 @@ func main() {
 	case "health":
 		err = c.get("/healthz", os.Stdout)
 	case "metrics":
-		err = c.get("/metrics", os.Stdout)
+		err = c.metrics(rest)
 	default:
 		fmt.Fprintf(os.Stderr, "atrctl: unknown command %q\n", cmd)
 		usage()
@@ -116,7 +116,20 @@ func apiErr(resp *http.Response) error {
 }
 
 func (c *client) get(path string, w io.Writer) error {
-	resp, err := c.http.Get(c.base + path)
+	return c.getAccept(path, "", w)
+}
+
+// getAccept is get with an Accept header — /metrics negotiates between
+// Prometheus text (its default) and the JSON ServerInfo view.
+func (c *client) getAccept(path, accept string, w io.Writer) error {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -126,6 +139,18 @@ func (c *client) get(path string, w io.Writer) error {
 	defer resp.Body.Close()
 	_, err = io.Copy(w, resp.Body)
 	return err
+}
+
+// metrics fetches the daemon counters: the JSON view by default (the
+// established atrctl output), the Prometheus text exposition with -prom.
+func (c *client) metrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	prom := fs.Bool("prom", false, "print the Prometheus text exposition instead of JSON")
+	_ = fs.Parse(args)
+	if *prom {
+		return c.get("/metrics", os.Stdout)
+	}
+	return c.getAccept("/metrics", "application/json", os.Stdout)
 }
 
 func (c *client) submit(args []string) error {

@@ -6,6 +6,7 @@
 //	     [-sim-workers N] [-job-workers N] [-queue N]
 //	     [-rate r] [-burst N] [-cache-cap N] [-runner-cache-cap N]
 //	     [-retries N] [-backoff d] [-drain d]
+//	     [-log-format text|json] [-log-level debug|info|warn|error] [-pprof]
 //
 // API (all JSON):
 //
@@ -20,7 +21,10 @@
 //	GET    /v1/jobs/{id}/perf     scheduling telemetry with provenance
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /healthz               liveness (503 while draining)
-//	GET    /metrics               daemon counters (obs.ServerInfo)
+//	GET    /metrics               Prometheus text exposition; the legacy
+//	                              JSON view (obs.ServerInfo) with
+//	                              Accept: application/json
+//	GET    /debug/pprof/...       runtime profiles, only with -pprof
 //
 // Backpressure: a full job queue or an exhausted per-client token bucket
 // answers 429 with Retry-After. On SIGINT/SIGTERM the daemon drains:
@@ -32,15 +36,48 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"atr/internal/server"
 )
+
+// newLogger builds the daemon's slog logger from the -log-format and
+// -log-level flags. It exits with a usage error on unknown values rather
+// than silently falling back — a typo in a service flag should be loud.
+func newLogger(format, level string) *slog.Logger {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "atrd: unknown -log-level %q (want debug|info|warn|error)\n", level)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts))
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	default:
+		fmt.Fprintf(os.Stderr, "atrd: unknown -log-format %q (want text|json)\n", format)
+		os.Exit(2)
+		return nil
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8437", "listen address")
@@ -56,6 +93,9 @@ func main() {
 	retries := flag.Int("retries", 1, "retries per failing run")
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "first-retry backoff (doubles per retry)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *queue < 1 || *jobWorkers < 1 {
@@ -66,6 +106,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atrd: -retries must be >= 0")
 		os.Exit(2)
 	}
+
+	logger := newLogger(*logFormat, *logLevel)
 
 	srv, err := server.New(server.Options{
 		StateDir:       *state,
@@ -79,16 +121,31 @@ func main() {
 		RunnerCacheCap: *runnerCacheCap,
 		Retries:        *retries,
 		Backoff:        *backoff,
+		Logger:         logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atrd:", err)
 		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// The daemon mux stays profiler-free; -pprof mounts the profiler on an
+	// outer mux so the flag is the only thing deciding exposure.
+	var handler http.Handler = srv
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", srv)
+		handler = outer
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("atrd: serving on %s (state %s)", *addr, *state)
+	logger.Info("serving", "addr", *addr, "state", *state, "pprof", *pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -99,13 +156,13 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("atrd: draining (budget %v)", *drain)
+	logger.Info("draining", "budget", drain.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	_ = httpSrv.Shutdown(dctx)
 	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("atrd: drain incomplete: %v (journals stay resumable)", err)
+		logger.Error("drain incomplete; journals stay resumable", "err", err)
 		os.Exit(1)
 	}
-	log.Printf("atrd: drained cleanly; incomplete jobs will resume on restart")
+	logger.Info("drained cleanly; incomplete jobs will resume on restart")
 }

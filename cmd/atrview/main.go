@@ -9,6 +9,7 @@
 //	atrview -manifest run.json
 //	atrview -journal sweep.jsonl
 //	atrview -sweep grid.json      (also accepts -perf telemetry manifests)
+//	atrview -spans spans.jsonl    (a server job's lifecycle span log)
 package main
 
 import (
@@ -18,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"atr/internal/obs"
 	"atr/internal/stats"
 	"atr/internal/sweep"
+	"atr/internal/telemetry"
 )
 
 func main() {
@@ -29,10 +32,11 @@ func main() {
 	manifestPath := flag.String("manifest", "", "validate and summarize a run manifest")
 	journalPath := flag.String("journal", "", "summarize a sweep journal (resume state, failures)")
 	sweepPath := flag.String("sweep", "", "validate and summarize a sweep grid manifest")
+	spansPath := flag.String("spans", "", "summarize a server job's lifecycle span log")
 	flag.Parse()
 
-	if *tracePath == "" && *manifestPath == "" && *journalPath == "" && *sweepPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: atrview -trace out.jsonl | -manifest run.json | -journal sweep.jsonl | -sweep grid.json")
+	if *tracePath == "" && *manifestPath == "" && *journalPath == "" && *sweepPath == "" && *spansPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: atrview -trace out.jsonl | -manifest run.json | -journal sweep.jsonl | -sweep grid.json | -spans spans.jsonl")
 		os.Exit(2)
 	}
 	if *tracePath != "" {
@@ -46,6 +50,92 @@ func main() {
 	}
 	if *sweepPath != "" {
 		summarizeSweep(*sweepPath)
+	}
+	if *spansPath != "" {
+		summarizeSpans(*spansPath)
+	}
+}
+
+// summarizeSpans renders a job's lifecycle span log: per-name aggregates
+// (count, total, mean, max) and a wall-clock timeline of the non-run
+// stages, with run spans collapsed into their aggregate row so a thousand
+// runs do not scroll a terminal.
+func summarizeSpans(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	spans, dropped, err := telemetry.ReadSpans(f)
+	if err != nil {
+		die(err)
+	}
+	if len(spans) == 0 {
+		fmt.Printf("spans          %s: empty\n", path)
+		return
+	}
+
+	type agg struct {
+		name  string
+		n     int
+		total time.Duration
+		max   time.Duration
+		fails int
+	}
+	byName := map[string]*agg{}
+	order := []string{}
+	jobs := map[string]bool{}
+	var t0 time.Time
+	for _, s := range spans {
+		a, ok := byName[s.Name]
+		if !ok {
+			a = &agg{name: s.Name}
+			byName[s.Name] = a
+			order = append(order, s.Name)
+		}
+		a.n++
+		a.total += s.Dur()
+		if s.Dur() > a.max {
+			a.max = s.Dur()
+		}
+		if s.Err != "" {
+			a.fails++
+		}
+		jobs[s.Job] = true
+		if st, err := s.StartTime(); err == nil && (t0.IsZero() || st.Before(t0)) {
+			t0 = st
+		}
+	}
+
+	fmt.Printf("spans          %s: %d spans, %d job(s)\n", path, len(spans), len(jobs))
+	if dropped > 0 {
+		fmt.Printf("damage         %d unreadable line(s) dropped (torn tail writes are expected after a kill)\n", dropped)
+	}
+	fmt.Printf("\n%-12s %8s %12s %12s %12s %6s\n", "span", "count", "total", "mean", "max", "fails")
+	for _, name := range order {
+		a := byName[name]
+		fmt.Printf("%-12s %8d %12s %12s %12s %6d\n",
+			a.name, a.n, a.total.Round(time.Microsecond),
+			(a.total / time.Duration(a.n)).Round(time.Microsecond),
+			a.max.Round(time.Microsecond), a.fails)
+	}
+
+	fmt.Printf("\ntimeline (offsets from first span):\n")
+	for _, s := range spans {
+		if s.Name == "run" {
+			continue // collapsed into the aggregate table above
+		}
+		st, err := s.StartTime()
+		if err != nil {
+			continue
+		}
+		detail := s.Detail
+		if s.Err != "" {
+			detail = "ERR " + s.Err
+		}
+		fmt.Printf("  +%-12s %-12s %-10s %12s  %s\n",
+			st.Sub(t0).Round(time.Microsecond), s.Name, s.Job,
+			s.Dur().Round(time.Microsecond), detail)
 	}
 }
 

@@ -94,9 +94,10 @@ type Runner struct {
 	// res it is LRU-bounded by CacheCap; an evicted program still held by
 	// a running simulation stays valid (immutability), the next request
 	// just regenerates it.
-	progMu  sync.Mutex
-	progs   map[string]*progEntry
-	progLRU *list.List
+	progMu   sync.Mutex
+	progs    map[string]*progEntry
+	progLRU  *list.List
+	progHits uint64
 
 	// Aggregate totals over unique (non-memoized) simulations, for sweep
 	// throughput accounting; guarded by mu.
@@ -162,6 +163,7 @@ func (r *Runner) Program(p workload.Profile) *program.Program {
 	r.progMu.Lock()
 	e, ok := r.progs[p.Name]
 	if ok {
+		r.progHits++
 		r.progLRU.MoveToFront(e.elem)
 	} else {
 		e = &progEntry{}
@@ -235,6 +237,17 @@ func (r *Runner) CacheStats() (hits, evictions uint64, size int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.hits, r.evictions, len(r.res)
+}
+
+// ProgramCacheStats reports shared-program-cache effectiveness: cumulative
+// hits (a profile's image reused instead of regenerated) and the current
+// number of resident programs. It exists for the daemon's telemetry
+// registry; like CacheStats the read is a monitoring snapshot, not a
+// synchronization point.
+func (r *Runner) ProgramCacheStats() (hits uint64, size int) {
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	return r.progHits, len(r.progs)
 }
 
 // Totals returns the number of unique simulations executed and the summed

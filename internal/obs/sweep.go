@@ -129,4 +129,12 @@ type ServerInfo struct {
 	CacheMisses   int `json:"cache_misses"`
 	CacheSize     int `json:"cache_size"` // gauge
 	CacheCap      int `json:"cache_cap"`
+
+	// Telemetry-registry additions (PR 6). The JSON view is a snapshot of
+	// the same lock-free instruments /metrics exposes in Prometheus format;
+	// fields are additive so existing atrctl clients keep parsing.
+	HTTPRequests   int `json:"http_requests"`          // all routes, all codes
+	LimiterClients int `json:"limiter_clients"`        // gauge: token buckets tracked
+	RunnerMemoHits int `json:"runner_memo_hits"`       // experiments.Runner memo cache
+	RunnerPrograms int `json:"runner_programs_cached"` // gauge: resident program images
 }

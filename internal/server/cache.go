@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"atr/internal/sweep"
+	"atr/internal/telemetry"
 )
 
 // runCache is the daemon's content-addressed result cache: completed run
@@ -16,12 +17,16 @@ import (
 // instr), a cached record is byte-for-byte the record a fresh simulation
 // would produce, so cache hits cannot perturb manifest identity.
 type runCache struct {
-	mu     sync.Mutex
-	cap    int
-	lru    *list.List // of string cache keys; front = most recent
-	byKey  map[string]*cacheEntry
-	hits   int
-	misses int
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of string cache keys; front = most recent
+	byKey map[string]*cacheEntry
+
+	// hits/misses are registry instruments owned by the server's telemetry
+	// registry; the cache records into them so lookups show up in /metrics
+	// without a second set of counters to keep in sync.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -29,11 +34,17 @@ type cacheEntry struct {
 	elem *list.Element
 }
 
-func newRunCache(capacity int) *runCache {
+func newRunCache(capacity int, hits, misses *telemetry.Counter) *runCache {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &runCache{cap: capacity, lru: list.New(), byKey: make(map[string]*cacheEntry)}
+	if hits == nil {
+		hits = new(telemetry.Counter)
+	}
+	if misses == nil {
+		misses = new(telemetry.Counter)
+	}
+	return &runCache{cap: capacity, lru: list.New(), byKey: make(map[string]*cacheEntry), hits: hits, misses: misses}
 }
 
 func cacheKey(runKey string, instr uint64) string {
@@ -47,10 +58,10 @@ func (c *runCache) get(runKey string, instr uint64) (sweep.Record, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.byKey[k]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return sweep.Record{}, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.lru.MoveToFront(e.elem)
 	return e.rec, true
 }
@@ -83,5 +94,5 @@ func (c *runCache) put(runKey string, instr uint64, rec sweep.Record) {
 func (c *runCache) stats() (hits, misses, size, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.lru.Len(), c.cap
+	return int(c.hits.Value()), int(c.misses.Value()), c.lru.Len(), c.cap
 }

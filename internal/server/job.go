@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"atr/internal/config"
 	"atr/internal/obs"
@@ -44,6 +45,15 @@ type JobSpec struct {
 	// cancelled (its journal stays resumable). Ephemeral jobs are not
 	// resurrected after a daemon restart.
 	Ephemeral bool `json:"ephemeral,omitempty"`
+
+	// InjectPanic, when positive, poisons the grid's k-th run (1-based,
+	// grid order) exactly as atrsweep's -inject-panic flag does: every
+	// attempt of that run panics inside the worker and is recorded as a
+	// failure. It is a fault-injection hook for exercising the daemon's
+	// isolation (one poisoned run cannot kill a job, and the telemetry
+	// gauges must still return to zero). Failed records are never cached,
+	// so a poisoned run cannot poison later jobs.
+	InjectPanic int `json:"inject_panic,omitempty"`
 }
 
 // grid resolves the spec into the sweep grid it declares. defaultInstr
@@ -162,6 +172,17 @@ type Job struct {
 	Total       int
 	SubmittedAt string
 
+	// enqueuedAt is when the job entered the pending queue; the server
+	// reads it after setRunning to observe queue wait. Written once before
+	// the job is visible to workers, so no lock is needed.
+	enqueuedAt time.Time
+
+	// onFinish, when non-nil, is called once inside the terminal state
+	// transition with the previous and final states. It runs under j.mu,
+	// so it must stay lock-light — the server installs a callback that
+	// only touches lock-free telemetry instruments.
+	onFinish func(prev, state string)
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -268,7 +289,11 @@ func (j *Job) finishLocked(state, errMsg string) {
 	if terminal(j.state) {
 		return
 	}
+	prev := j.state
 	j.state = state
+	if j.onFinish != nil {
+		j.onFinish(prev, state)
+	}
 	j.err = errMsg
 	j.broadcastLocked(Event{Type: "status", Job: j.ID, State: state, Error: errMsg})
 	for ch := range j.subs {

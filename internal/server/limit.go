@@ -77,6 +77,15 @@ func (l *limiter) allow(key string, now time.Time) (ok bool, retryAfter time.Dur
 	return false, ceil
 }
 
+// clients reports how many token buckets the limiter currently tracks.
+// It is a monitoring read (the atr_rate_clients gauge), not a
+// synchronization point.
+func (l *limiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
 // pruneLocked drops buckets that have been idle long enough to be full
 // again (they carry no information), bounding the map against client churn.
 func (l *limiter) pruneLocked(now time.Time) {

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"atr/internal/obs"
 	"atr/internal/pipeline"
 	"atr/internal/sweep"
+	"atr/internal/telemetry"
 )
 
 // Options configures a daemon.
@@ -71,6 +73,11 @@ type Options struct {
 	// Retries and Backoff are passed to each job's sweep engine.
 	Retries int
 	Backoff time.Duration
+
+	// Logger receives the daemon's structured request and job-lifecycle
+	// log (slog). nil discards — the daemon never falls back to the
+	// process-global logger, so tests stay quiet by default.
+	Logger *slog.Logger
 }
 
 // Server is the daemon. It implements http.Handler.
@@ -80,6 +87,8 @@ type Server struct {
 	runner  *experiments.Runner // shared across jobs: program cache
 	cache   *runCache
 	limiter *limiter
+	tm      *serverMetrics // all counters/gauges/histograms; Metrics() is a view
+	logger  *slog.Logger
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -90,24 +99,24 @@ type Server struct {
 	pending []*Job
 	closed  bool
 
-	mu          sync.Mutex
-	jobs        map[string]*Job
-	order       []string
-	nextID      int
-	startedAt   time.Time
-	submitted   int
-	doneCount   int
-	failedCount int
-	cancelCount int
-	recovered   int
-	rateLimited int
-	runsExec    int
-	runsCached  int
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string
+	nextID    int
+	startedAt time.Time
 
 	// beforeRun, when non-nil, is called by a worker after a job enters
 	// the running state and before its engine starts. Tests use it to
-	// hold jobs in flight deterministically.
+	// hold jobs in flight deterministically; read and written under mu
+	// (tests that swap it mid-flight use setBeforeRun).
 	beforeRun func(*Job)
+}
+
+// setBeforeRun swaps the test hook under the same lock runJob reads it.
+func (s *Server) setBeforeRun(fn func(*Job)) {
+	s.mu.Lock()
+	s.beforeRun = fn
+	s.mu.Unlock()
 }
 
 // persistedJob is the on-disk spec record binding an ID to its submission.
@@ -154,12 +163,19 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: state dir: %w", err)
 	}
 
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	tm := newServerMetrics()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
 		runner:     experiments.NewRunner(opts.DefaultInstr),
-		cache:      newRunCache(opts.CacheCap),
+		cache:      newRunCache(opts.CacheCap, tm.cacheHits, tm.cacheMisses),
 		limiter:    newLimiter(opts.Rate, opts.Burst),
+		tm:         tm,
+		logger:     logger,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       make(map[string]*Job),
@@ -167,6 +183,7 @@ func New(opts Options) (*Server, error) {
 		startedAt:  time.Now(),
 	}
 	s.runner.CacheCap = opts.RunnerCacheCap
+	tm.registerCollectors(s)
 	s.qcond = sync.NewCond(&s.qmu)
 	s.routes()
 
@@ -261,8 +278,15 @@ func (s *Server) recover() error {
 			s.writeStatus(j, StateCancelled, "daemon restarted; ephemeral owner gone")
 			j.finish(StateCancelled, "daemon restarted; ephemeral owner gone")
 		default:
-			s.recovered++
+			// Re-queued jobs get the finish hook — recovered terminal
+			// jobs above deliberately do not, so counters only reflect
+			// this daemon's own work (as before the registry rewire).
+			j.onFinish = s.noteFinish
+			j.enqueuedAt = time.Now()
+			s.tm.jobsRecovered.Inc()
+			s.tm.jobsQueued.Inc()
 			s.pending = append(s.pending, j)
+			s.logger.Info("job recovered", "job", id, "grid", j.GridName, "units", j.Total)
 		}
 	}
 	return nil
@@ -287,9 +311,28 @@ func (s *Server) writeStatus(j *Job, state, errMsg string) {
 	_ = os.WriteFile(s.jobFile(j.ID, "status.json"), append(b, '\n'), 0o644)
 }
 
+// noteFinish is the Job.onFinish hook: it moves the terminal-state and
+// running-gauge accounting onto the telemetry registry. It runs under the
+// job's mutex, so it touches only lock-free instruments. Interrupted jobs
+// are deliberately not counted — they resume under the next daemon.
+func (s *Server) noteFinish(prev, state string) {
+	if prev == StateRunning {
+		s.tm.jobsRunning.Dec()
+	}
+	switch state {
+	case StateDone:
+		s.tm.jobsDone.Inc()
+	case StateFailed:
+		s.tm.jobsFailed.Inc()
+	case StateCancelled:
+		s.tm.jobsCancelled.Inc()
+	}
+}
+
 // submit validates, persists, and queues a job. It is the only admission
 // path, and enforces the queue bound.
 func (s *Server) submit(spec JobSpec) (*Job, error, int) {
+	t0 := time.Now()
 	g, err := spec.grid(s.opts.DefaultInstr)
 	if err != nil {
 		return nil, err, http.StatusBadRequest
@@ -315,10 +358,11 @@ func (s *Server) submit(spec JobSpec) (*Job, error, int) {
 	s.nextID++
 	now := time.Now().UTC().Format(time.RFC3339Nano)
 	j := newJob(id, spec, g.Name, len(units), now)
+	j.onFinish = s.noteFinish
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.submitted++
 	s.mu.Unlock()
+	s.tm.jobsSubmitted.Inc()
 
 	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
 		j.finish(StateFailed, err.Error())
@@ -336,10 +380,27 @@ func (s *Server) submit(spec JobSpec) (*Job, error, int) {
 		j.finish(StateInterrupted, "daemon is shutting down")
 		return nil, errors.New("daemon is shutting down"), http.StatusServiceUnavailable
 	}
+	j.enqueuedAt = time.Now()
 	s.pending = append(s.pending, j)
+	s.tm.jobsQueued.Inc()
 	s.qcond.Signal()
 	s.qmu.Unlock()
+
+	s.emitSpan(j, telemetry.Span{Name: "submit", Detail: g.Name}, t0, time.Since(t0))
+	s.logger.Info("job submitted", "job", id, "grid", g.Name, "units", len(units))
 	return j, nil, 0
+}
+
+// emitSpan appends one span line to the job's span log. Tracing is
+// best-effort and strictly off the result path: any error is ignored, and
+// nothing downstream ever reads spans to make a decision.
+func (s *Server) emitSpan(j *Job, sp telemetry.Span, start time.Time, dur time.Duration) {
+	f, err := os.OpenFile(s.jobFile(j.ID, "spans.jsonl"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	telemetry.NewSpanLog(f, j.ID).Emit(sp, start, dur)
 }
 
 // worker pulls queued jobs and executes them until shutdown.
@@ -364,6 +425,11 @@ func (s *Server) nextJob() *Job {
 		if len(s.pending) > 0 {
 			j := s.pending[0]
 			s.pending = s.pending[1:]
+			// The queued gauge tracks queue membership, not job state: a
+			// job cancelled while queued still sits in pending until this
+			// pop, so decrementing here (and only here) keeps the gauge
+			// equal to len(pending) at all times.
+			s.tm.jobsQueued.Dec()
 			return j
 		}
 		s.qcond.Wait()
@@ -378,9 +444,7 @@ func (s *Server) nextJob() *Job {
 func (s *Server) runJob(j *Job) {
 	g, err := j.Spec.grid(s.opts.DefaultInstr)
 	if err != nil {
-		s.writeStatus(j, StateFailed, err.Error())
-		s.countFinish(j, StateFailed)
-		j.finish(StateFailed, err.Error())
+		s.failJob(j, err.Error())
 		return
 	}
 
@@ -389,7 +453,25 @@ func (s *Server) runJob(j *Job) {
 	if !j.setRunning(cancel) {
 		return // cancelled while queued
 	}
-	if hook := s.beforeRun; hook != nil {
+	s.tm.jobsRunning.Inc()
+	qwait := time.Since(j.enqueuedAt)
+	s.tm.queueWait.Observe(qwait)
+
+	// One span log per execution, shared by the engine's worker callbacks
+	// (SpanLog serializes writes; nil degrades every Emit to a no-op).
+	var sl *telemetry.SpanLog
+	if sf, err := os.OpenFile(s.jobFile(j.ID, "spans.jsonl"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644); err == nil {
+		defer sf.Close()
+		sl = telemetry.NewSpanLog(sf, j.ID)
+	}
+	sl.Emit(telemetry.Span{Name: "queue-wait"}, j.enqueuedAt, qwait)
+	s.logger.Info("job started", "job", j.ID, "grid", j.GridName, "units", j.Total,
+		"queue_wait_ms", float64(qwait.Microseconds())/1000)
+
+	s.mu.Lock()
+	hook := s.beforeRun
+	s.mu.Unlock()
+	if hook != nil {
 		hook(j)
 	}
 
@@ -397,20 +479,26 @@ func (s *Server) runJob(j *Job) {
 
 	jf, err := os.OpenFile(s.jobFile(j.ID, "journal.jsonl"), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		s.writeStatus(j, StateFailed, err.Error())
-		s.countFinish(j, StateFailed)
-		j.finish(StateFailed, err.Error())
+		s.failJob(j, err.Error())
 		return
 	}
 
 	eng := sweep.New(sweep.Options{
-		Workers:    s.opts.SimWorkers,
-		Retries:    s.opts.Retries,
-		Backoff:    s.opts.Backoff,
-		Journal:    jf,
-		Resume:     resume,
-		JobID:      j.ID,
-		OnProgress: j.publish,
+		Workers:     s.opts.SimWorkers,
+		Retries:     s.opts.Retries,
+		Backoff:     s.opts.Backoff,
+		Journal:     jf,
+		Resume:      resume,
+		JobID:       j.ID,
+		InjectPanic: j.Spec.InjectPanic,
+		OnProgress:  j.publish,
+		OnRun: func(u sweep.Unit, worker int, start time.Time, dur time.Duration, errMsg string) {
+			s.tm.runDuration.Observe(dur)
+			sl.Emit(telemetry.Span{
+				Name: "run", RunKey: u.Key, Seq: u.Seq, Worker: worker,
+				Bench: u.Profile.Name, Scheme: u.Config.Scheme.String(), Err: errMsg,
+			}, start, dur)
+		},
 	})
 	m, execErr := eng.Execute(ctx, g, s.runFunc(g.Instr))
 	jf.Close()
@@ -425,62 +513,53 @@ func (s *Server) runJob(j *Job) {
 		switch {
 		case j.wasCancelled():
 			s.writeStatus(j, StateCancelled, "cancelled")
-			s.countFinish(j, StateCancelled)
 			j.finish(StateCancelled, "cancelled")
+			s.logger.Info("job cancelled", "job", j.ID)
 		case s.baseCtx.Err() != nil:
 			// Shutdown drain: no status marker, so the journal makes the
 			// job resumable by the next daemon.
 			j.finish(StateInterrupted, "daemon shutdown; journaled runs will resume")
+			s.logger.Info("job interrupted", "job", j.ID)
 		default:
-			s.writeStatus(j, StateFailed, execErr.Error())
-			s.countFinish(j, StateFailed)
-			j.finish(StateFailed, execErr.Error())
+			s.failJob(j, execErr.Error())
 		}
 		return
 	}
 
+	mergeStart := time.Now()
 	var buf strings.Builder
 	if err := m.Encode(&buf); err != nil {
-		s.writeStatus(j, StateFailed, err.Error())
-		s.countFinish(j, StateFailed)
-		j.finish(StateFailed, err.Error())
+		s.failJob(j, err.Error())
 		return
 	}
 	tmp := s.jobFile(j.ID, "manifest.json.tmp")
 	if err := os.WriteFile(tmp, []byte(buf.String()), 0o644); err == nil {
 		err = os.Rename(tmp, s.jobFile(j.ID, "manifest.json"))
 		if err != nil {
-			s.writeStatus(j, StateFailed, err.Error())
-			s.countFinish(j, StateFailed)
-			j.finish(StateFailed, err.Error())
+			s.failJob(j, err.Error())
 			return
 		}
 	} else {
-		s.writeStatus(j, StateFailed, err.Error())
-		s.countFinish(j, StateFailed)
-		j.finish(StateFailed, err.Error())
+		s.failJob(j, err.Error())
 		return
 	}
+	sl.Emit(telemetry.Span{Name: "merge", Detail: "manifest.json"}, mergeStart, time.Since(mergeStart))
 
 	for _, rec := range m.Runs {
 		s.cache.put(rec.Key, g.Instr, rec)
 	}
-	s.countFinish(j, StateDone)
 	j.finish(StateDone, "")
+	s.logger.Info("job done", "job", j.ID,
+		"done", info.Done, "failed", info.Failed, "resumed", info.Resumed,
+		"wall_s", info.WallSeconds)
 }
 
-// countFinish updates the terminal-state counters.
-func (s *Server) countFinish(j *Job, state string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch state {
-	case StateDone:
-		s.doneCount++
-	case StateFailed:
-		s.failedCount++
-	case StateCancelled:
-		s.cancelCount++
-	}
+// failJob marks a terminal failure: persistent status marker, state
+// transition (the onFinish hook does the counting), and one log line.
+func (s *Server) failJob(j *Job, msg string) {
+	s.writeStatus(j, StateFailed, msg)
+	j.finish(StateFailed, msg)
+	s.logger.Error("job failed", "job", j.ID, "err", msg)
 }
 
 // resumeFor builds the job's resume source: the job's own journal from a
@@ -509,9 +588,7 @@ func (s *Server) resumeFor(j *Job, g sweep.Grid) *sweep.Journal {
 		}
 	}
 	if cached > 0 {
-		s.mu.Lock()
-		s.runsCached += cached
-		s.mu.Unlock()
+		s.tm.runsFromCache.Add(uint64(cached))
 	}
 	return resume
 }
@@ -526,46 +603,44 @@ func (s *Server) runFunc(instr uint64) sweep.RunFunc {
 		}
 		prog := s.runner.Program(u.Profile)
 		res := pipeline.NewWithScheduler(u.Config, prog, pipeline.SchedulerEvent).Run(instr)
-		s.mu.Lock()
-		s.runsExec++
-		s.mu.Unlock()
+		s.tm.runsExecuted.Inc()
 		return res, nil
 	}
 }
 
-// Metrics snapshots the daemon's /metrics view.
+// Metrics snapshots the daemon's JSON /metrics view. Since the registry
+// rewire this is a read-only projection of the same lock-free instruments
+// the Prometheus exposition serves — there is exactly one set of counters.
+// Reads are relaxed-atomic monitoring snapshots (see DESIGN 3.1e): each
+// value is a real past value, but the set is not a consistent cut.
 func (s *Server) Metrics() obs.ServerInfo {
+	tm := s.tm
 	hits, misses, size, capacity := s.cache.stats()
-	s.qmu.Lock()
-	queued := len(s.pending)
-	s.qmu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	running := 0
-	for _, j := range s.jobs {
-		if j.State() == StateRunning {
-			running++
-		}
-	}
+	memoHits, _, _ := s.runner.CacheStats()
+	_, progs := s.runner.ProgramCacheStats()
 	return obs.ServerInfo{
-		Build:         obs.Build(),
-		StartedAt:     s.startedAt.UTC().Format(time.RFC3339Nano),
-		UptimeSeconds: time.Since(s.startedAt).Seconds(),
-		JobsSubmitted: s.submitted,
-		JobsQueued:    queued,
-		JobsRunning:   running,
-		JobsDone:      s.doneCount,
-		JobsFailed:    s.failedCount,
-		JobsCancelled: s.cancelCount,
-		JobsRecovered: s.recovered,
-		QueueCap:      s.opts.QueueDepth,
-		RateLimited:   s.rateLimited,
-		RunsExecuted:  s.runsExec,
-		RunsFromCache: s.runsCached,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheSize:     size,
-		CacheCap:      capacity,
+		Build:          obs.Build(),
+		StartedAt:      s.startedAt.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds:  time.Since(s.startedAt).Seconds(),
+		JobsSubmitted:  int(tm.jobsSubmitted.Value()),
+		JobsQueued:     int(tm.jobsQueued.Value()),
+		JobsRunning:    int(tm.jobsRunning.Value()),
+		JobsDone:       int(tm.jobsDone.Value()),
+		JobsFailed:     int(tm.jobsFailed.Value()),
+		JobsCancelled:  int(tm.jobsCancelled.Value()),
+		JobsRecovered:  int(tm.jobsRecovered.Value()),
+		QueueCap:       s.opts.QueueDepth,
+		RateLimited:    int(tm.rateLimited.Value()),
+		RunsExecuted:   int(tm.runsExecuted.Value()),
+		RunsFromCache:  int(tm.runsFromCache.Value()),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheSize:      size,
+		CacheCap:       capacity,
+		HTTPRequests:   int(tm.httpAll.Value()),
+		LimiterClients: s.limiter.clients(),
+		RunnerMemoHits: int(memoHits),
+		RunnerPrograms: progs,
 	}
 }
 
@@ -584,15 +659,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleManifest)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/perf", s.handlePerf)
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("status", s.handleStatus))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.instrument("manifest", s.handleManifest))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/perf", s.instrument("perf", s.handlePerf))
+}
+
+// instrument wraps a handler with the per-route latency histogram, the
+// status-class counter, and one structured request log line. The wrapped
+// writer passes Flush through, so streaming handlers keep working; for
+// those the recorded latency covers the whole stream, which is the honest
+// number for an endpoint whose job is to stay open.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.tm.httpDur[route]
+	byClass := s.tm.httpReq[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		dur := time.Since(t0)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		hist.Observe(dur)
+		byClass[codeClass(code)].Inc()
+		s.tm.httpAll.Inc()
+		lvl := slog.LevelInfo
+		if route == "healthz" || route == "metrics" {
+			lvl = slog.LevelDebug // scrape traffic: visible only at -log-level debug
+		}
+		s.logger.Log(r.Context(), lvl, "request",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"status", code, "dur_ms", float64(dur.Microseconds())/1000,
+			"client", clientKey(r))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -619,15 +725,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleMetrics negotiates between the two views of the one instrument
+// set: Prometheus text exposition by default (what a scraper expects from
+// GET /metrics), the legacy JSON ServerInfo when the client asks for
+// application/json (atrctl does).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.tm.reg.WriteText(w)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if ok, retry := s.limiter.allow(clientKey(r), time.Now()); !ok {
-		s.mu.Lock()
-		s.rateLimited++
-		s.mu.Unlock()
+		s.tm.rateLimited.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "rate limit exceeded"})
 		return
@@ -770,7 +884,9 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, apiError{Error: "manifest not available", State: st})
 		return
 	}
+	t0 := time.Now()
 	s.serveFile(w, s.jobFile(j.ID, "manifest.json"))
+	s.emitSpan(j, telemetry.Span{Name: "serve", Detail: "manifest.json"}, t0, time.Since(t0))
 }
 
 func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {

@@ -503,7 +503,7 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 
 	close(release)
-	s.beforeRun = nil
+	s.setBeforeRun(nil)
 	waitJob(t, s, first, StateDone)
 	waitJob(t, s, second, StateDone)
 	third := submitJob(t, hs.URL, JobSpec{Kind: "grid", Grid: "micro", Instr: 800})

@@ -44,6 +44,14 @@ type Options struct {
 	// by the engine.
 	OnProgress func(obs.SweepProgress)
 
+	// OnRun, when non-nil, is called after each executed (non-resumed)
+	// unit finishes — successfully or after exhausting its retries — with
+	// the pool worker that ran it and its wall-clock execution window. It
+	// is a telemetry seam (span tracing, latency histograms): it observes
+	// scheduling facts and can never influence the record or the manifest.
+	// Called from worker goroutines, so it must be safe for concurrent use.
+	OnRun func(u Unit, worker int, start time.Time, dur time.Duration, errMsg string)
+
 	// InjectPanic, when positive, poisons the grid's k-th run (1-based,
 	// grid order): every attempt of that run panics inside the worker.
 	// The panic is recovered, retried, and recorded as a failed run — the
@@ -158,7 +166,11 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 		u := units[pending[j]]
 		t0 := time.Now()
 		rec := e.runOne(ctx, u, fn)
-		busy := time.Since(t0).Seconds()
+		busyDur := time.Since(t0)
+		busy := busyDur.Seconds()
+		if cb := e.opts.OnRun; cb != nil {
+			cb(u, worker, t0, busyDur, rec.Err)
+		}
 
 		e.mu.Lock()
 		s := &e.shards[worker]

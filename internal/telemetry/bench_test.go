@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryHotPath is CI's telemetry allocation gate: every record
+// path the server hits per request or per run — counter increment, gauge
+// set, histogram observe — must report 0 allocs/op and single-digit
+// nanoseconds. The sub-benchmarks are gated the same way the counter gate
+// is: any nonzero allocs/op fails the bench job.
+func BenchmarkTelemetryHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "x")
+	g := r.Gauge("bench_gauge", "x")
+	h := r.Histogram("bench_seconds", "x", nil)
+
+	b.Run("counter-inc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge-set", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(int64(i))
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	})
+	b.Run("counter-inc-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram-observe-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.Observe(50 * time.Microsecond)
+			}
+		})
+	})
+}

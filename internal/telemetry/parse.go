@@ -1,0 +1,392 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	Name   string // full sample name (may carry _bucket/_sum/_count suffix)
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the samples grouped under a # TYPE
+// declaration.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition format (the subset the
+// registry writes: HELP/TYPE comments and plain sample lines). It enforces
+// the structural rules a scraper relies on: a TYPE line precedes every
+// sample of its family, no family is declared twice, and every sample
+// belongs to a declared family. It is the in-repo exposition linter — CI
+// scrapes /metrics through it — and atrtop's wire format.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var fams []*Family
+	byName := make(map[string]*Family)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			switch kind {
+			case "HELP":
+				if f := byName[name]; f != nil {
+					if f.Help != "" {
+						return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+					}
+					f.Help = rest
+				} else {
+					f = &Family{Name: name, Help: rest}
+					fams = append(fams, f)
+					byName[name] = f
+				}
+			case "TYPE":
+				f := byName[name]
+				if f == nil {
+					f = &Family{Name: name}
+					fams = append(fams, f)
+					byName[name] = f
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.Type = rest
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, rest, name)
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := byName[familyOf(s.Name, byName)]
+		if f == nil || f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// familyOf maps a sample name to its declaring family, stripping histogram
+// suffixes when the base name is a declared histogram.
+func familyOf(sample string, byName map[string]*Family) string {
+	if _, ok := byName[sample]; ok {
+		return sample
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base != sample {
+			if f, ok := byName[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimSpace(strings.TrimPrefix(line, "#")), " ", 3)
+	if len(fields) < 2 || (fields[0] != "HELP" && fields[0] != "TYPE") {
+		return "", "", "", false
+	}
+	kind, name = fields[0], fields[1]
+	if len(fields) == 3 {
+		rest = fields[2]
+	}
+	return kind, name, rest, true
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return s, fmt.Errorf("sample %s has no value", s.Name)
+	}
+	v, err := strconv.ParseFloat(valStr[0], 64)
+	if err != nil {
+		if valStr[0] == "+Inf" {
+			v = math.Inf(1)
+		} else {
+			return s, fmt.Errorf("sample %s: bad value %q", s.Name, valStr[0])
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed labels %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("label %s: unquoted value", key)
+		}
+		var val strings.Builder
+		j := 1
+		for ; j < len(body); j++ {
+			c := body[j]
+			if c == '\\' && j+1 < len(body) {
+				j++
+				switch body[j] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[j])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if j >= len(body) {
+			return fmt.Errorf("label %s: unterminated value", key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %s", key)
+		}
+		out[key] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(body[j+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// Lint applies the semantic checks a Prometheus scrape relies on beyond
+// syntax: counter and histogram values must be non-negative finite numbers,
+// histogram buckets cumulative and non-decreasing with a +Inf bucket equal
+// to _count, and no two samples in a family may share a label set.
+func Lint(fams []Family) error {
+	for _, f := range fams {
+		seen := make(map[string]bool)
+		for _, s := range f.Samples {
+			key := s.Name + labelKey(s.Labels)
+			if seen[key] {
+				return fmt.Errorf("family %s: duplicate sample %s", f.Name, key)
+			}
+			seen[key] = true
+			if (f.Type == "counter" || f.Type == "histogram") && (s.Value < 0 || math.IsNaN(s.Value)) {
+				return fmt.Errorf("family %s: %s value %v not a valid count", f.Name, s.Name, s.Value)
+			}
+		}
+		if f.Type == "histogram" {
+			if err := lintHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks each label-set's bucket series for cumulative
+// monotonicity and +Inf == count agreement.
+func lintHistogram(f Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	bySet := make(map[string]*series)
+	order := []string{}
+	get := func(labels map[string]string) *series {
+		key := labelKeyExcept(labels, "le")
+		s, ok := bySet[key]
+		if !ok {
+			s = &series{}
+			bySet[key] = s
+			order = append(order, key)
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseLe(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("family %s: %v", f.Name, err)
+			}
+			ser := get(s.Labels)
+			ser.les = append(ser.les, le)
+			ser.counts = append(ser.counts, s.Value)
+		case f.Name + "_count":
+			ser := get(s.Labels)
+			ser.count = s.Value
+			ser.hasCnt = true
+		}
+	}
+	for _, key := range order {
+		ser := bySet[key]
+		if len(ser.les) == 0 {
+			return fmt.Errorf("family %s%s: no buckets", f.Name, key)
+		}
+		for i := 1; i < len(ser.les); i++ {
+			if ser.les[i] <= ser.les[i-1] {
+				return fmt.Errorf("family %s%s: bucket bounds not ascending", f.Name, key)
+			}
+			if ser.counts[i] < ser.counts[i-1] {
+				return fmt.Errorf("family %s%s: cumulative bucket counts decrease at le=%v", f.Name, key, ser.les[i])
+			}
+		}
+		if !math.IsInf(ser.les[len(ser.les)-1], 1) {
+			return fmt.Errorf("family %s%s: missing +Inf bucket", f.Name, key)
+		}
+		if ser.hasCnt && ser.counts[len(ser.counts)-1] != ser.count {
+			return fmt.Errorf("family %s%s: +Inf bucket %v != count %v", f.Name, key, ser.counts[len(ser.counts)-1], ser.count)
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le label %q", s)
+	}
+	return v, nil
+}
+
+func labelKey(labels map[string]string) string { return labelKeyExcept(labels, "") }
+
+func labelKeyExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MergedHistogram sums a histogram family's bucket series across all label
+// sets into one (bounds, cumulative, sum, count) view. Children must share
+// a bucket layout — true by construction for registry-produced families.
+func MergedHistogram(f Family) (bounds []float64, cumulative []uint64, sum float64, count uint64, err error) {
+	type acc map[float64]float64
+	bySet := make(map[string]acc)
+	var sums float64
+	var counts float64
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, e := parseLe(s.Labels["le"])
+			if e != nil {
+				return nil, nil, 0, 0, e
+			}
+			key := labelKeyExcept(s.Labels, "le")
+			if bySet[key] == nil {
+				bySet[key] = acc{}
+			}
+			bySet[key][le] = s.Value
+		case f.Name + "_sum":
+			sums += s.Value
+		case f.Name + "_count":
+			counts += s.Value
+		}
+	}
+	merged := acc{}
+	for _, a := range bySet {
+		for le, v := range a {
+			merged[le] += v
+		}
+	}
+	les := make([]float64, 0, len(merged))
+	for le := range merged {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	for _, le := range les {
+		if !math.IsInf(le, 1) {
+			bounds = append(bounds, le)
+		}
+		cumulative = append(cumulative, uint64(merged[le]))
+	}
+	return bounds, cumulative, sums, uint64(counts), nil
+}

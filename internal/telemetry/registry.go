@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to an instrument. Labels are
+// fixed at registration: the registry has no dynamic label lookup, so the
+// record path stays a bare atomic op.
+type Label struct {
+	Key, Value string
+}
+
+// metric kinds, in the vocabulary of the Prometheus exposition format.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// child is one labelled instrument inside a family.
+type child struct {
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *LatencyHistogram
+
+	// counterFn/gaugeFn are collect-time callbacks for values that already
+	// live behind someone else's synchronization (cache sizes, map
+	// lengths). They trade the lock-free record path for zero double
+	// accounting, and are only invoked during exposition.
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// family is all children sharing one metric name, help string, and type.
+type family struct {
+	name     string
+	help     string
+	kind     string
+	children []*child
+}
+
+// Registry holds instruments in deterministic (registration) order.
+// Registration takes a lock and may allocate; record paths (Counter.Inc and
+// friends) never touch the registry again. Register everything up front.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register validates and inserts one child, creating its family on first
+// use. Invalid names, type conflicts, and duplicate label sets panic:
+// every call site is package-level wiring that runs at daemon startup, so
+// a panic is a build-time bug, not a runtime hazard.
+func (r *Registry) register(name, help, kind string, labels []Label, c *child) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("telemetry: metric %s: invalid label name %q", name, l.Key))
+		}
+	}
+	c.labels = append([]Label(nil), labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s registered as %s and %s", name, f.kind, kind))
+		}
+		for _, prev := range f.children {
+			if labelsEqual(prev.labels, c.labels) {
+				panic(fmt.Sprintf("telemetry: metric %s: duplicate label set %s", name, renderLabels(c.labels)))
+			}
+		}
+	}
+	f.children = append(f.children, c)
+}
+
+// Counter registers and returns a counter. Counter names should end in
+// _total by Prometheus convention.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, labels, &child{counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, labels, &child{gauge: g})
+	return g
+}
+
+// Histogram registers and returns a latency histogram with the given
+// bucket upper bounds in seconds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, boundsSec []float64, labels ...Label) *LatencyHistogram {
+	if len(boundsSec) == 0 {
+		boundsSec = DefBuckets
+	}
+	for i := 1; i < len(boundsSec); i++ {
+		if boundsSec[i] <= boundsSec[i-1] {
+			panic(fmt.Sprintf("telemetry: metric %s: bucket bounds not ascending", name))
+		}
+	}
+	h := newHistogram(boundsSec)
+	r.register(name, help, kindHistogram, labels, &child{hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is produced by fn at
+// exposition time. fn must be monotonic and safe to call concurrently.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, kindCounter, labels, &child{counterFn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is produced by fn at exposition
+// time. fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, labels, &child{gaugeFn: fn})
+}
+
+// WriteText writes the registry in Prometheus text exposition format
+// (version 0.0.4), families in registration order, children in
+// registration order within a family. The output is deterministic for a
+// fixed sequence of recorded values.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.children {
+			switch {
+			case c.counter != nil:
+				writeSample(&b, f.name, c.labels, "", formatUint(c.counter.Value()))
+			case c.counterFn != nil:
+				writeSample(&b, f.name, c.labels, "", formatUint(c.counterFn()))
+			case c.gauge != nil:
+				writeSample(&b, f.name, c.labels, "", strconv.FormatInt(c.gauge.Value(), 10))
+			case c.gaugeFn != nil:
+				writeSample(&b, f.name, c.labels, "", formatFloat(c.gaugeFn()))
+			case c.hist != nil:
+				bounds, counts, sum, count := c.hist.Snapshot()
+				var cum uint64
+				for i, bc := range counts {
+					cum += bc
+					le := "+Inf"
+					if i < len(bounds) {
+						le = formatFloat(bounds[i])
+					}
+					writeSample(&b, f.name+"_bucket", append(c.labels, Label{"le", le}), "", formatUint(cum))
+				}
+				writeSample(&b, f.name+"_sum", c.labels, "", formatFloat(sum))
+				writeSample(&b, f.name+"_count", c.labels, "", formatUint(count))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, _ string, value string) {
+	b.WriteString(name)
+	b.WriteString(renderLabels(labels))
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]Label(nil), a...)
+	bs := append([]Label(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i].Key < as[j].Key })
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Key < bs[j].Key })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // "le" is reserved for histogram buckets
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

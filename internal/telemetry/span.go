@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a job's lifecycle, written as a JSONL line to
+// the job's state directory. Spans are correlated with the sweep engine's
+// artifacts by the same SHA-256 run keys the journal and result cache use:
+// a "run" span's RunKey equals the journal record's key for that unit.
+//
+// Spans live strictly off the result path: they are appended to their own
+// file beside the journal and never touch the manifest encoder, so tracing
+// cannot perturb served bytes (TestServedManifestMatchesOffline holds with
+// spans enabled — there is no way to disable them).
+type Span struct {
+	Job    string `json:"job"`
+	Name   string `json:"span"` // submit | queue-wait | run | merge | serve
+	RunKey string `json:"run_key,omitempty"`
+	Seq    int    `json:"seq,omitempty"`    // grid-order index, run spans
+	Worker int    `json:"worker,omitempty"` // pool worker, run spans
+	Bench  string `json:"bench,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	Start  string `json:"start"` // RFC3339Nano UTC
+	DurNS  int64  `json:"dur_ns"`
+	Detail string `json:"detail,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// StartTime parses the span's start timestamp.
+func (s Span) StartTime() (time.Time, error) {
+	return time.Parse(time.RFC3339Nano, s.Start)
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() time.Duration { return time.Duration(s.DurNS) }
+
+// SpanLog appends spans as JSONL, one Write call per line (line-atomic on
+// an os.File opened O_APPEND, the same discipline the sweep journal uses,
+// so a kill can corrupt at most the final line). A nil *SpanLog is a valid
+// no-op sink, mirroring the obs package's nil-hook convention.
+type SpanLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	job string
+}
+
+// NewSpanLog returns a span log writing to w, stamping every span with job.
+func NewSpanLog(w io.Writer, job string) *SpanLog {
+	return &SpanLog{w: w, job: job}
+}
+
+// Emit writes one span, filling Job, formatting Start from start, and
+// computing DurNS from dur. Safe for concurrent use.
+func (l *SpanLog) Emit(s Span, start time.Time, dur time.Duration) {
+	if l == nil {
+		return
+	}
+	s.Job = l.job
+	s.Start = start.UTC().Format(time.RFC3339Nano)
+	s.DurNS = int64(dur)
+	b, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	_, _ = l.w.Write(append(b, '\n'))
+	l.mu.Unlock()
+}
+
+// ReadSpans parses a span log. Like the sweep journal loader it tolerates a
+// torn final line (the expected artifact of a kill mid-write) but rejects
+// damage anywhere else; dropped reports how many lines were discarded.
+func ReadSpans(r io.Reader) (spans []Span, dropped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			return nil, 0, pendingErr
+		}
+		var s Span
+		if e := json.Unmarshal(line, &s); e != nil {
+			// Only acceptable as the final line (torn tail).
+			pendingErr = fmt.Errorf("telemetry: span log line %d: %w", lineNo, e)
+			dropped++
+			continue
+		}
+		if s.Name == "" {
+			return nil, 0, fmt.Errorf("telemetry: span log line %d: missing span name", lineNo)
+		}
+		spans = append(spans, s)
+	}
+	if e := sc.Err(); e != nil {
+		return nil, 0, e
+	}
+	return spans, dropped, nil
+}

@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryExpositionRoundTrip pins the core contract: what WriteText
+// produces, ParseText+Lint accept, with families in registration order and
+// values intact.
+func TestRegistryExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("atr_requests_total", "Requests served.", Label{"route", "submit"})
+	c2 := r.Counter("atr_requests_total", "Requests served.", Label{"route", "list"})
+	g := r.Gauge("atr_queue_depth", "Jobs queued.")
+	h := r.Histogram("atr_latency_seconds", "Handler latency.", []float64{0.001, 0.01, 0.1})
+	r.GaugeFunc("atr_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	r.CounterFunc("atr_evictions_total", "Evictions.", func() uint64 { return 7 })
+
+	c.Add(3)
+	c2.Inc()
+	g.Set(4)
+	g.Dec()
+	h.Observe(500 * time.Microsecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText of our own output: %v\n%s", err, text)
+	}
+	if err := Lint(fams); err != nil {
+		t.Fatalf("Lint of our own output: %v\n%s", err, text)
+	}
+
+	wantOrder := []string{"atr_requests_total", "atr_queue_depth", "atr_latency_seconds", "atr_uptime_seconds", "atr_evictions_total"}
+	if len(fams) != len(wantOrder) {
+		t.Fatalf("got %d families, want %d", len(fams), len(wantOrder))
+	}
+	for i, want := range wantOrder {
+		if fams[i].Name != want {
+			t.Errorf("family %d = %s, want %s (registration order must be preserved)", i, fams[i].Name, want)
+		}
+	}
+
+	find := func(name, labelKey, labelVal string) float64 {
+		t.Helper()
+		for _, f := range fams {
+			for _, s := range f.Samples {
+				if s.Name == name && (labelKey == "" || s.Labels[labelKey] == labelVal) {
+					return s.Value
+				}
+			}
+		}
+		t.Fatalf("sample %s{%s=%q} not found in:\n%s", name, labelKey, labelVal, text)
+		return 0
+	}
+	if v := find("atr_requests_total", "route", "submit"); v != 3 {
+		t.Errorf("submit counter = %v, want 3", v)
+	}
+	if v := find("atr_requests_total", "route", "list"); v != 1 {
+		t.Errorf("list counter = %v, want 1", v)
+	}
+	if v := find("atr_queue_depth", "", ""); v != 3 {
+		t.Errorf("gauge = %v, want 3", v)
+	}
+	if v := find("atr_uptime_seconds", "", ""); v != 12.5 {
+		t.Errorf("gauge func = %v, want 12.5", v)
+	}
+	if v := find("atr_evictions_total", "", ""); v != 7 {
+		t.Errorf("counter func = %v, want 7", v)
+	}
+	if v := find("atr_latency_seconds_count", "", ""); v != 3 {
+		t.Errorf("histogram count = %v, want 3", v)
+	}
+	if v := find("atr_latency_seconds_bucket", "le", "0.001"); v != 1 {
+		t.Errorf("le=0.001 bucket = %v, want 1 (cumulative)", v)
+	}
+	if v := find("atr_latency_seconds_bucket", "le", "+Inf"); v != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", v)
+	}
+	sum := find("atr_latency_seconds_sum", "", "")
+	if want := 0.0005 + 0.05 + 2.0; math.Abs(sum-want) > 1e-9 {
+		t.Errorf("histogram sum = %v, want %v", sum, want)
+	}
+}
+
+// TestRegistryRejectsConflicts pins the registration-time panics that make
+// misuse a startup failure instead of a silent aliasing bug.
+func TestRegistryRejectsConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"kind conflict", func(r *Registry) { r.Counter("m_total", "x"); r.Gauge("m_total", "x") }},
+		{"duplicate labels", func(r *Registry) {
+			r.Counter("m_total", "x", Label{"a", "1"})
+			r.Counter("m_total", "x", Label{"a", "1"})
+		}},
+		{"bad name", func(r *Registry) { r.Counter("9bad", "x") }},
+		{"reserved le label", func(r *Registry) { r.Histogram("h", "x", nil, Label{"le", "1"}) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h", "x", []float64{1, 0.5}) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		}()
+	}
+	// Same name + same kind + distinct labels is legal (a family).
+	r := NewRegistry()
+	r.Counter("ok_total", "x", Label{"a", "1"})
+	r.Counter("ok_total", "x", Label{"a", "2"})
+}
+
+// TestLintCatchesBrokenExposition feeds the linter hand-broken scrapes.
+func TestLintCatchesBrokenExposition(t *testing.T) {
+	parse := func(s string) ([]Family, error) { return ParseText(strings.NewReader(s)) }
+
+	if _, err := parse("# TYPE a counter\n# TYPE a counter\na 1\n"); err == nil {
+		t.Error("duplicate TYPE accepted")
+	}
+	if _, err := parse("a_total 1\n"); err == nil {
+		t.Error("sample without TYPE accepted")
+	}
+	if _, err := parse("# TYPE a wibble\na 1\n"); err == nil {
+		t.Error("unknown type accepted")
+	}
+
+	fams, err := parse("# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 6\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Lint(fams); err == nil {
+		t.Error("decreasing cumulative buckets passed lint")
+	}
+
+	fams, err = parse("# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_count 5\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Lint(fams); err == nil {
+		t.Error("missing +Inf bucket passed lint")
+	}
+
+	fams, err = parse("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 9\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Lint(fams); err == nil {
+		t.Error("+Inf != count passed lint")
+	}
+
+	fams, err = parse("# TYPE c_total counter\nc_total{a=\"x\"} 1\nc_total{a=\"x\"} 2\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Lint(fams); err == nil {
+		t.Error("duplicate sample passed lint")
+	}
+}
+
+// TestQuantile pins the interpolation used by atrtop.
+func TestQuantile(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+	cum := []uint64{10, 20, 30, 30} // 10 in each finite bucket, none above 10
+	if got := Quantile(bounds, cum, 0.5); math.Abs(got-0.55) > 1e-9 {
+		// rank 15 lands mid-second-bucket: 0.1 + 0.9*(15-10)/10
+		t.Errorf("p50 = %v, want 0.55", got)
+	}
+	if got := Quantile(bounds, cum, 1); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+	if got := Quantile(bounds, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines and checks nothing is lost (the count equals the observes).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, _, _, count := h.Snapshot()
+	if count != workers*per {
+		t.Fatalf("count = %d, want %d", count, workers*per)
+	}
+}
+
+// TestHotPathZeroAlloc is the in-test twin of BenchmarkTelemetryHotPath:
+// the record paths must not allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "x")
+	g := r.Gauge("g", "x")
+	h := r.Histogram("h_seconds", "x", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Inc()
+		g.Dec()
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestSpanLogRoundTrip writes spans (concurrently, as the server does from
+// pool workers) and reads them back, including torn-tail tolerance.
+func TestSpanLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSpanLog(&buf, "j000042")
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.Emit(Span{Name: "submit"}, start, 2*time.Millisecond)
+	l.Emit(Span{Name: "queue-wait"}, start.Add(2*time.Millisecond), 30*time.Millisecond)
+	l.Emit(Span{Name: "run", RunKey: "abc123", Seq: 4, Worker: 2, Bench: "gcc", Scheme: "atomic"},
+		start.Add(32*time.Millisecond), 200*time.Millisecond)
+
+	var nilLog *SpanLog
+	nilLog.Emit(Span{Name: "ignored"}, start, 0) // must not panic
+
+	spans, dropped, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil || dropped != 0 {
+		t.Fatalf("ReadSpans: %v (dropped %d)", err, dropped)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if s.Job != "j000042" {
+			t.Errorf("span %s job = %q, want j000042", s.Name, s.Job)
+		}
+	}
+	run := spans[2]
+	if run.RunKey != "abc123" || run.Worker != 2 || run.Dur() != 200*time.Millisecond {
+		t.Errorf("run span mangled: %+v", run)
+	}
+	if ts, err := run.StartTime(); err != nil || !ts.Equal(start.Add(32*time.Millisecond)) {
+		t.Errorf("run start = %v (%v)", ts, err)
+	}
+
+	// Torn tail: acceptable, dropped, counted.
+	torn := append(append([]byte(nil), buf.Bytes()...), []byte(`{"job":"j0000`)...)
+	spans, dropped, err = ReadSpans(bytes.NewReader(torn))
+	if err != nil || dropped != 1 || len(spans) != 3 {
+		t.Fatalf("torn tail: spans=%d dropped=%d err=%v", len(spans), dropped, err)
+	}
+
+	// Damage mid-file: rejected.
+	mid := []byte("{\"bogus\n" + buf.String())
+	if _, _, err := ReadSpans(bytes.NewReader(mid)); err == nil {
+		t.Error("mid-file damage accepted")
+	}
+}
+
+// TestCounterConcurrent checks no increments are lost across goroutines.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	const workers, per = 8, 100000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
