@@ -7,6 +7,7 @@
 package atr
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -320,6 +321,25 @@ func BenchmarkFig10Throughput(b *testing.B) {
 			var t experiments.Throughput
 			for i := 0; i < b.N; i++ {
 				t = experiments.SchedulerSweep(s.kind, benchInstr)
+			}
+			b.ReportMetric(t.CyclesPerSec(), "cycles/s")
+			b.ReportMetric(t.InstrPerSec(), "instr/s")
+		})
+	}
+}
+
+// BenchmarkBatchedSweep compares solo (K=1) and lockstep-batched (K=4)
+// execution of the Figure 10 grid on the event scheduler: identical units,
+// identical results (TestSweepBatchDeterminism proves byte-identity), the
+// only difference being whether profile-sharing units run as lanes over
+// one shared program image. The K=4/K=1 ratio is the locality win of
+// lockstep batching in isolation.
+func BenchmarkBatchedSweep(b *testing.B) {
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var t experiments.Throughput
+			for i := 0; i < b.N; i++ {
+				t = experiments.SchedulerSweepBatch(pipeline.SchedulerEvent, benchInstr, k)
 			}
 			b.ReportMetric(t.CyclesPerSec(), "cycles/s")
 			b.ReportMetric(t.InstrPerSec(), "instr/s")

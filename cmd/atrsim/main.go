@@ -8,20 +8,28 @@
 //
 //	atrsim [-bench name] [-scheme baseline|nonspec-er|atomic|combined]
 //	       [-regs N] [-n instructions] [-delay N] [-walk] [-sched event|scan] [-v]
-//	       [-trace out.jsonl] [-o3view out.o3] [-json run.json]
+//	       [-batch K] [-trace out.jsonl] [-o3view out.o3] [-json run.json]
 //	       [-sample N] [-samples out.csv|out.json]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -batch K simulates K identical lockstep lanes of the same configuration
+// on the batched executor and verifies lane isolation: every lane must
+// finish bit-identical to lane 0 (and pass the engine invariants), or the
+// run fails. The manifest's perf block then records the lane count and
+// the setup/exec phase split. K < 1 is a usage error (exit 2).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"atr/internal/batch"
 	"atr/internal/config"
 	"atr/internal/obs"
 	"atr/internal/pipeline"
@@ -36,6 +44,7 @@ func main() {
 	delay := flag.Int("delay", 0, "ATR redefine-signal pipeline delay (Fig 13)")
 	walk := flag.Bool("walk", false, "use walk-based SRT recovery instead of checkpoints")
 	schedName := flag.String("sched", "event", "scheduler implementation: event (wakeup lists + completion wheel) or scan (reference)")
+	batchK := flag.Int("batch", 1, "simulate K identical lockstep lanes and verify lane isolation (1 = solo)")
 	list := flag.Bool("list", false, "list benchmark profiles and exit")
 	verbose := flag.Bool("v", false, "print internal release counters")
 	tracePath := flag.String("trace", "", "write a JSONL pipeline event trace to this file")
@@ -77,6 +86,14 @@ func main() {
 	if *samplesPath != "" && *sample == 0 {
 		*sample = 1000 // -samples implies sampling at a default period
 	}
+	if *batchK < 1 {
+		fmt.Fprintf(os.Stderr, "atrsim: -batch must be >= 1 (got %d)\n", *batchK)
+		os.Exit(2)
+	}
+	if *batchK > 1 && (*tracePath != "" || *o3Path != "" || *sample > 0) {
+		fmt.Fprintln(os.Stderr, "atrsim: -batch > 1 is incompatible with -trace/-o3view/-sample (observers are per-CPU; the batched executor does not attach them)")
+		os.Exit(2)
+	}
 
 	var observer obs.Observer
 	var closers []func() error
@@ -117,10 +134,6 @@ func main() {
 	}
 
 	prog := p.Generate()
-	cpu := pipeline.NewWithScheduler(cfg, prog, sched)
-	if observer.Enabled() {
-		cpu.Observe(&observer)
-	}
 	// Profile only the simulation itself, not program generation or
 	// report/manifest writing, so hot-path work stands out.
 	if *cpuProfile != "" {
@@ -130,8 +143,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var (
+		cpu   *pipeline.CPU
+		res   pipeline.Result
+		bperf batch.Perf
+	)
 	start := time.Now()
-	res := cpu.Run(*n)
+	if *batchK > 1 {
+		cfgs := make([]config.Config, *batchK)
+		for i := range cfgs {
+			cfgs[i] = cfg
+		}
+		lanes, perf := batch.Run(prog, cfgs, *n, batch.Options{Kind: sched})
+		bperf = perf
+		cpu, res = lanes[0].CPU, lanes[0].Result
+		for i, l := range lanes {
+			if err := l.CPU.Engine.CheckInvariants(); err != nil {
+				fmt.Fprintf(os.Stderr, "atrsim: INVARIANT VIOLATION (lane %d): %v\n", i, err)
+				os.Exit(1)
+			}
+			if !reflect.DeepEqual(l.Result, res) {
+				fmt.Fprintf(os.Stderr, "atrsim: LANE ISOLATION VIOLATION: lane %d diverges from lane 0\n", i)
+				os.Exit(1)
+			}
+		}
+	} else {
+		cpu = pipeline.NewWithScheduler(cfg, prog, sched)
+		if observer.Enabled() {
+			cpu.Observe(&observer)
+		}
+		res = cpu.Run(*n)
+	}
 	elapsed := time.Since(start)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -191,12 +233,16 @@ func main() {
 	}
 	fmt.Printf("simulated at   %.0fk instructions/second\n",
 		float64(res.Committed)/elapsed.Seconds()/1000)
+	if *batchK > 1 {
+		fmt.Printf("lane check     %d lockstep lanes bit-identical (setup %.3fs, exec %.3fs)\n",
+			bperf.Lanes, bperf.SetupSeconds, bperf.ExecSeconds)
+	}
 
 	if observer.Sampler != nil && *samplesPath != "" {
 		writeSamples(observer.Sampler, *samplesPath)
 	}
 	if *jsonPath != "" {
-		writeManifest(*jsonPath, p, prog.Len(), cfg, cpu, res, elapsed, &observer, *tracePath, *o3Path)
+		writeManifest(*jsonPath, p, prog.Len(), cfg, cpu, res, elapsed, &observer, *tracePath, *o3Path, bperf)
 	}
 }
 
@@ -236,7 +282,7 @@ func writeSamples(s *obs.Sampler, path string) {
 
 func writeManifest(path string, p workload.Profile, static int, cfg config.Config,
 	cpu *pipeline.CPU, res pipeline.Result, elapsed time.Duration,
-	observer *obs.Observer, tracePath, o3Path string) {
+	observer *obs.Observer, tracePath, o3Path string, bperf batch.Perf) {
 	m := obs.NewManifest()
 	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	m.Benchmark = obs.BenchmarkInfo{Name: p.Name, Class: p.Class, Seed: p.Seed, StaticInstrs: static}
@@ -268,6 +314,9 @@ func writeManifest(path string, p workload.Profile, static int, cfg config.Confi
 		WallSeconds:  elapsed.Seconds(),
 		InstrPerSec:  float64(res.Committed) / elapsed.Seconds(),
 		CyclesPerSec: float64(res.Cycles) / elapsed.Seconds(),
+		Lanes:        bperf.Lanes,
+		SetupSeconds: bperf.SetupSeconds,
+		ExecSeconds:  bperf.ExecSeconds,
 	}
 	if observer.Sampler != nil {
 		m.Samples = observer.Sampler.Samples()

@@ -9,10 +9,17 @@
 //
 // Grid mode, selected by -grid:
 //
-//	atrsweep -grid fig10|full|micro [-n instructions] [-workers N]
+//	atrsweep -grid fig10|full|micro [-n instructions] [-workers N] [-batch K]
 //	         [-out manifest.json] [-journal sweep.jsonl] [-resume sweep.jsonl]
 //	         [-retries N] [-backoff d] [-timeout d] [-perf perf.json]
 //	         [-inject-panic k]
+//
+// -batch caps how many profile-homogeneous pending units execute as
+// lockstep lanes over one shared program image (omit for the engine's
+// default width; 1 disables batching). Batching is a pure scheduling
+// decision — the manifest bytes are identical either way — and its
+// telemetry (groups, lanes, setup/exec split) lands in the -perf file.
+// An explicit -batch below 1 is a usage error (exit 2).
 //
 // Grid mode writes a deterministic result manifest: the same grid produces
 // byte-identical -out files regardless of worker count or resume splits.
@@ -80,6 +87,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "grid mode: abort the sweep after this long (0 disables)")
 	perfPath := flag.String("perf", "", "grid mode: write scheduling telemetry (wall clock, shards) to this file")
 	injectPanic := flag.Int("inject-panic", 0, "grid mode: poison the k-th grid run (1-based) so every attempt panics")
+	batchK := flag.Int("batch", 0, "grid mode: lockstep lanes per profile-homogeneous batch (0 auto-selects, 1 disables)")
 	flag.Parse()
 
 	usageErr := func(msg string) {
@@ -90,6 +98,9 @@ func main() {
 		if f.Name == "workers" && *workers < 1 {
 			usageErr(fmt.Sprintf("-workers must be >= 1 (got %d); omit the flag to use GOMAXPROCS", *workers))
 		}
+		if f.Name == "batch" && *batchK < 1 {
+			usageErr(fmt.Sprintf("-batch must be >= 1 (got %d); omit the flag for the default lane width", *batchK))
+		}
 	})
 	if *retries < 0 {
 		usageErr(fmt.Sprintf("-retries must be >= 0 (got %d)", *retries))
@@ -99,7 +110,7 @@ func main() {
 	}
 
 	if *grid != "" {
-		os.Exit(runGrid(*grid, *n, *workers, *out, *journalPath, *resumePath,
+		os.Exit(runGrid(*grid, *n, *workers, *batchK, *out, *journalPath, *resumePath,
 			*retries, *backoff, *timeout, *perfPath, *injectPanic))
 	}
 
@@ -212,7 +223,7 @@ func main() {
 
 // runGrid executes one sweep grid on the engine and returns the process
 // exit code.
-func runGrid(name string, instr uint64, workers int, out, journalPath, resumePath string,
+func runGrid(name string, instr uint64, workers, batchK int, out, journalPath, resumePath string,
 	retries int, backoff, timeout time.Duration, perfPath string, injectPanic int) int {
 
 	fail := func(err error) int {
@@ -227,6 +238,7 @@ func runGrid(name string, instr uint64, workers int, out, journalPath, resumePat
 
 	opts := sweep.Options{
 		Workers:     workers,
+		Batch:       batchK,
 		Retries:     retries,
 		Backoff:     backoff,
 		InjectPanic: injectPanic,
@@ -319,6 +331,10 @@ func printSweepSummary(info obs.SweepInfo) {
 		"sweep: %d/%d done, %d failed, %d retried, %d resumed, %d journal flushes, %.2fs wall, %.0f cycles/s\n",
 		info.Done, info.Total, info.Failed, info.Retried, info.Resumed,
 		info.JournalFlushes, info.WallSeconds, info.CyclesPerSec)
+	if info.Batches > 0 {
+		fmt.Fprintf(os.Stderr, "  batches: %d groups covering %d runs (lane cap %d), %.2fs setup, %.2fs exec\n",
+			info.Batches, info.BatchedRuns, info.Batch, info.SetupSeconds, info.ExecSeconds)
+	}
 	for _, s := range info.Shards {
 		if s.Runs == 0 {
 			continue

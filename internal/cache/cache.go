@@ -13,16 +13,53 @@ import "atr/internal/config"
 // the tail instead of scanning for a minimum stamp. The hit/miss stream and
 // eviction choices are identical to the timestamp formulation
 // (TestCacheMatchesStampReference proves it against a retained reference).
+//
+// Backing storage is allocated lazily in chunks of 64 sets on the first
+// fill that touches a chunk. Short simulations touch a small fraction of a
+// large LLC's sets, and sweeps construct one hierarchy per grid unit, so
+// eager allocation dominated sweep heap traffic (~45% of allocated bytes)
+// for arrays that were mostly never read. An untouched chunk behaves
+// exactly like all-invalid ways: Lookup and Contains miss without
+// materializing it.
 type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
-	tags      []uint64 // sets*ways; 0 = invalid (tags stored with +1 bias)
-	dirty     []bool
-	order     []uint8 // sets*ways; per-set permutation of ways, MRU first
+	chunks    []cacheChunk // lazily materialized, chunkSets sets each
 
 	Hits   uint64
 	Misses uint64
+}
+
+// chunkSetsShift sizes a lazily-allocated chunk: 64 sets balances
+// allocation granularity (a 16-way chunk is ~10 KB) against how much of a
+// cold LLC a short run actually touches.
+const (
+	chunkSetsShift = 6
+	chunkSets      = 1 << chunkSetsShift
+)
+
+// cacheChunk holds chunkSets sets' worth of tag/dirty/recency state; nil
+// slices until the first Fill into the chunk.
+type cacheChunk struct {
+	tags  []uint64 // 0 = invalid (tags stored with +1 bias)
+	dirty []bool
+	order []uint8 // per-set permutation of ways, MRU first
+}
+
+// materialize allocates the chunk's arrays with every way invalid and the
+// identity recency order — byte-for-byte the state eager allocation gave
+// every set at construction.
+func (ch *cacheChunk) materialize(ways int) {
+	n := chunkSets * ways
+	ch.tags = make([]uint64, n)
+	ch.dirty = make([]bool, n)
+	ch.order = make([]uint8, n)
+	for s := 0; s < chunkSets; s++ {
+		for w := 0; w < ways; w++ {
+			ch.order[s*ways+w] = uint8(w)
+		}
+	}
 }
 
 // New builds a cache from a level configuration.
@@ -32,20 +69,12 @@ func New(cfg config.CacheConfig) *Cache {
 		shift++
 	}
 	sets := cfg.Sets()
-	c := &Cache{
+	return &Cache{
 		sets:      sets,
 		ways:      cfg.Ways,
 		lineShift: shift,
-		tags:      make([]uint64, sets*cfg.Ways),
-		dirty:     make([]bool, sets*cfg.Ways),
-		order:     make([]uint8, sets*cfg.Ways),
+		chunks:    make([]cacheChunk, (sets+chunkSets-1)/chunkSets),
 	}
-	for s := 0; s < sets; s++ {
-		for w := 0; w < cfg.Ways; w++ {
-			c.order[s*cfg.Ways+w] = uint8(w)
-		}
-	}
-	return c
 }
 
 // LineAddr returns the line-aligned address for addr.
@@ -59,26 +88,33 @@ func (c *Cache) setOf(line uint64) int {
 // the dirty bit when write is true.
 func (c *Cache) Lookup(addr uint64, write bool) bool {
 	line := c.LineAddr(addr)
-	base := c.setOf(line) * c.ways
-	ord := c.order[base : base+c.ways]
+	set := c.setOf(line)
+	ch := &c.chunks[set>>chunkSetsShift]
+	if ch.tags == nil {
+		// Untouched chunk: every way invalid, unconditional miss.
+		c.Misses++
+		return false
+	}
+	base := (set & (chunkSets - 1)) * c.ways
+	ord := ch.order[base : base+c.ways]
 	t := line + 1
 	// MRU fast path: locality makes the most-recently-used way the common
 	// case, so it costs one compare and no reordering.
-	if w := int(ord[0]); c.tags[base+w] == t {
+	if w := int(ord[0]); ch.tags[base+w] == t {
 		if write {
-			c.dirty[base+w] = true
+			ch.dirty[base+w] = true
 		}
 		c.Hits++
 		return true
 	}
 	for k := 1; k < c.ways; k++ {
 		w := ord[k]
-		if c.tags[base+int(w)] == t {
+		if ch.tags[base+int(w)] == t {
 			// Move the hit way to the front of the recency order.
 			copy(ord[1:k+1], ord[:k])
 			ord[0] = w
 			if write {
-				c.dirty[base+int(w)] = true
+				ch.dirty[base+int(w)] = true
 			}
 			c.Hits++
 			return true
@@ -93,25 +129,30 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 // is 0 when the victim way was invalid.
 func (c *Cache) Fill(addr uint64, write bool) (evicted uint64, wasDirty bool) {
 	line := c.LineAddr(addr)
-	base := c.setOf(line) * c.ways
-	ord := c.order[base : base+c.ways]
+	set := c.setOf(line)
+	ch := &c.chunks[set>>chunkSetsShift]
+	if ch.tags == nil {
+		ch.materialize(c.ways)
+	}
+	base := (set & (chunkSets - 1)) * c.ways
+	ord := ch.order[base : base+c.ways]
 	// Victim: the lowest-index invalid way if one exists, else the LRU way
 	// at the tail of the recency order — the same choice the stamp-scan
 	// formulation made (invalid ways are exactly the never-filled ones).
 	victim := -1
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == 0 {
+		if ch.tags[base+w] == 0 {
 			victim = w
 			break
 		}
 	}
 	if victim < 0 {
 		victim = int(ord[c.ways-1])
-		evicted = c.tags[base+victim] - 1
-		wasDirty = c.dirty[base+victim]
+		evicted = ch.tags[base+victim] - 1
+		wasDirty = ch.dirty[base+victim]
 	}
-	c.tags[base+victim] = line + 1
-	c.dirty[base+victim] = write
+	ch.tags[base+victim] = line + 1
+	ch.dirty[base+victim] = write
 	// Move the filled way to the front of the recency order.
 	k := 0
 	for int(ord[k]) != victim {
@@ -126,9 +167,14 @@ func (c *Cache) Fill(addr uint64, write bool) (evicted uint64, wasDirty bool) {
 // filtering).
 func (c *Cache) Contains(addr uint64) bool {
 	line := c.LineAddr(addr)
-	base := c.setOf(line) * c.ways
+	set := c.setOf(line)
+	ch := &c.chunks[set>>chunkSetsShift]
+	if ch.tags == nil {
+		return false
+	}
+	base := (set & (chunkSets - 1)) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line+1 {
+		if ch.tags[base+w] == line+1 {
 			return true
 		}
 	}

@@ -65,13 +65,18 @@ type preg struct {
 }
 
 // bank is one register class's renaming state: SRT, physical registers, and
-// free list.
+// free list, plus the class's dense allocation-keyed side tables (lifetime
+// records, open ATR claims, early-release marks — see dense.go).
 type bank struct {
 	class isa.RegClass
 	nArch int
 	pregs []preg
 	free  []PTag
 	srt   []PTag
+
+	lives  lifeTab
+	claims claimTab
+	early  markTab
 }
 
 func (b *bank) alloc() (PTag, uint32) {
@@ -107,16 +112,6 @@ type Checkpoint struct {
 type delayedRedefine struct {
 	a   Alloc
 	due uint64
-}
-
-// mapping identifies one architectural mapping of a physical register
-// allocation. Without move elimination there is exactly one mapping per
-// allocation; with it, several architectural registers may share an
-// allocation, and release ownership (claims, early releases) is tracked per
-// mapping.
-type mapping struct {
-	a   Alloc
-	reg isa.Reg
 }
 
 // relKind names the mechanism that freed a register. It indexes the
@@ -160,14 +155,7 @@ type Engine struct {
 	Ledger *stats.LifetimeLedger
 	Stats  *stats.Counters
 
-	lives map[Alloc]*stats.RegLifetime
-	// claims tracks open ATR claims per mapping (interrupt counters);
-	// earlyReleased records mappings whose reference was already dropped
-	// by ATR or nonspec-ER, so commit and flush reclamation skip them
-	// exactly once each.
-	claims        map[mapping]claimState
-	earlyReleased map[mapping]bool
-	delayQ        []delayedRedefine
+	delayQ []delayedRedefine
 
 	// trace, when non-nil, receives one ReleaseEvent per register release.
 	// The hot path pays only this pointer compare when tracing is off.
@@ -191,30 +179,10 @@ type Engine struct {
 	hBulkMarks   stats.Handle
 	hRelease     [numRelKinds]stats.Handle
 
-	// Free lists recycling the engine's only steady-state allocations:
-	// per-allocation lifetime records (recorded into the Ledger by value,
-	// so recycling after Record is safe) and SRT checkpoints.
-	lifePool []*stats.RegLifetime
-	cpPool   []*Checkpoint
-}
-
-// newLife returns a lifetime record initialized to {Renamed: renamed},
-// recycled from the pool when possible.
-func (e *Engine) newLife(renamed uint64) *stats.RegLifetime {
-	if n := len(e.lifePool) - 1; n >= 0 {
-		l := e.lifePool[n]
-		e.lifePool[n] = nil
-		e.lifePool = e.lifePool[:n]
-		*l = stats.RegLifetime{Renamed: renamed}
-		return l
-	}
-	return &stats.RegLifetime{Renamed: renamed}
-}
-
-// freeLife recycles a lifetime record after Ledger.Record copied it out and
-// it was removed from e.lives (its only reference).
-func (e *Engine) freeLife(l *stats.RegLifetime) {
-	e.lifePool = append(e.lifePool, l)
+	// cpPool recycles SRT checkpoints, the engine's only remaining
+	// steady-state heap objects (lifetime records live inside the banks'
+	// dense lifeTab arenas).
+	cpPool []*Checkpoint
 }
 
 // NewEngine builds the renaming state for cfg. The initial architectural
@@ -222,13 +190,10 @@ func (e *Engine) freeLife(l *stats.RegLifetime) {
 // register in each class).
 func NewEngine(cfg config.Config) *Engine {
 	e := &Engine{
-		cfg:           cfg,
-		Ledger:        stats.NewLifetimeLedger(),
-		Stats:         stats.NewCounters(),
-		lives:         make(map[Alloc]*stats.RegLifetime),
-		claims:        make(map[mapping]claimState),
-		earlyReleased: make(map[mapping]bool),
-		satCount:      cfg.MaxConsumerCount(),
+		cfg:      cfg,
+		Ledger:   stats.NewLifetimeLedger(),
+		Stats:    stats.NewCounters(),
+		satCount: cfg.MaxConsumerCount(),
 	}
 	e.hRenameAlloc = e.Stats.Handle("rename.alloc")
 	e.hMoveElim = e.Stats.Handle("rename.moveelim")
@@ -253,6 +218,9 @@ func NewEngine(cfg config.Config) *Engine {
 		b.pregs = make([]preg, size)
 		b.srt = make([]PTag, nArch)
 		b.free = make([]PTag, 0, size)
+		b.lives = newLifeTab(size)
+		b.claims = newClaimTab(size)
+		b.early = newMarkTab(size)
 		for t := size - 1; t >= nArch; t-- {
 			b.pregs[t].free = true
 			b.free = append(b.free, PTag(t))
@@ -266,7 +234,7 @@ func NewEngine(cfg config.Config) *Engine {
 			// definition.
 			b.pregs[a].allocCommitted = true
 			b.pregs[a].writePending = false
-			e.lives[Alloc{Class: b.class, Tag: PTag(a), Gen: 1}] = &stats.RegLifetime{}
+			b.lives.put(PTag(a), 1, stats.RegLifetime{})
 		}
 	}
 	return e
@@ -295,7 +263,20 @@ func (e *Engine) Lookup(r isa.Reg) Alloc {
 	return Alloc{Class: b.class, Tag: t, Gen: b.pregs[t].gen}
 }
 
-func (e *Engine) life(a Alloc) *stats.RegLifetime { return e.lives[a] }
+// life returns a's lifetime record, or nil. The pointer is valid only until
+// the next lifeTab insert (the arena may grow); callers use it locally.
+func (e *Engine) life(a Alloc) *stats.RegLifetime {
+	return e.banks[a.Class].lives.get(a.Tag, a.Gen)
+}
+
+// trackedLives returns the number of in-flight lifetime records (tests).
+func (e *Engine) trackedLives() int {
+	n := 0
+	for c := range e.banks {
+		n += e.banks[c].lives.n
+	}
+	return n
+}
 
 // Rename processes one instruction through the rename stage at the given
 // cycle: source lookup and consumer counting, bulk no-early-release marking
@@ -304,6 +285,15 @@ func (e *Engine) life(a Alloc) *stats.RegLifetime { return e.lives[a] }
 // group.
 func (e *Engine) Rename(in *isa.Inst, cycle uint64) RenameOut {
 	var out RenameOut
+	e.RenameInto(in, cycle, &out)
+	return out
+}
+
+// RenameInto is Rename writing into a caller-owned RenameOut (the pipeline
+// renames straight into the uop's embedded struct, skipping a sizeable copy
+// per instruction). *out is overwritten entirely.
+func (e *Engine) RenameInto(in *isa.Inst, cycle uint64, out *RenameOut) {
+	*out = RenameOut{}
 
 	// 1. Source operands: look up and register consumers.
 	for i, r := range in.Srcs {
@@ -355,7 +345,6 @@ func (e *Engine) Rename(in *isa.Inst, cycle uint64) RenameOut {
 			}
 		}
 	}
-	return out
 }
 
 func (e *Engine) renameDst(r isa.Reg, cycle uint64) DstAlloc {
@@ -367,7 +356,7 @@ func (e *Engine) renameDst(r isa.Reg, cycle uint64) DstAlloc {
 	newTag, gen := b.alloc()
 	b.srt[idx] = newTag
 	na := Alloc{Class: b.class, Tag: newTag, Gen: gen}
-	e.lives[na] = e.newLife(cycle)
+	b.lives.put(newTag, gen, stats.RegLifetime{Renamed: cycle})
 	e.Stats.Add(e.hRenameAlloc, 1)
 
 	d := DstAlloc{Reg: r, New: na, Prev: prev, PrevValid: true}
@@ -407,7 +396,7 @@ func (e *Engine) maybeClaim(d *DstAlloc, prev Alloc, pp *preg, cycle uint64) {
 	if cs.allocPre {
 		e.openPre++
 	}
-	e.claims[mapping{prev, d.Reg}] = cs
+	e.banks[prev.Class].claims.set(prev.Tag, prev.Gen, d.Reg, cs)
 	e.Stats.Add(e.hClaims, 1)
 	if e.cfg.RedefineDelay == 0 {
 		pp.redefined = true
@@ -583,7 +572,7 @@ func (e *Engine) tryATRRelease(a Alloc, cycle uint64) {
 	if p.free || p.gen != a.Gen || !p.claimed || !p.redefined || p.count != 0 || p.writePending {
 		return
 	}
-	e.earlyReleased[mapping{a, p.claimArch}] = true
+	b.early.add(a.Tag, a.Gen, p.claimArch)
 	e.release(a, relATR, cycle)
 }
 
@@ -598,7 +587,7 @@ func (e *Engine) tryERRelease(a Alloc, cycle uint64) {
 	if p.free || p.gen != a.Gen || p.claimed || !p.redefPre || p.count != 0 || p.writePending {
 		return
 	}
-	e.earlyReleased[mapping{a, p.erArch}] = true
+	b.early.add(a.Tag, a.Gen, p.erArch)
 	e.release(a, relER, cycle)
 }
 
@@ -612,20 +601,18 @@ func (e *Engine) RedefinerPrecommitted(d DstAlloc, cycle uint64) {
 	if life := e.life(d.Prev); life != nil && life.Precommitted == 0 {
 		life.Precommitted = cycle
 	}
+	b := &e.banks[d.Prev.Class]
 	if !d.PrevValid {
 		// Claimed: ATR owns the release; the region no longer
 		// straddles the precommit boundary.
-		key := mapping{d.Prev, d.Reg}
-		if cs, ok := e.claims[key]; ok && !cs.redefPre {
+		if cs := b.claims.ref(d.Prev.Tag, d.Prev.Gen, d.Reg); cs != nil && !cs.redefPre {
 			cs.redefPre = true
 			if cs.allocPre {
 				e.openPre--
 			}
-			e.claims[key] = cs
 		}
 		return
 	}
-	b := &e.banks[d.Prev.Class]
 	p := &b.pregs[d.Prev.Tag]
 	if p.gen == d.Prev.Gen && !p.free && !p.redefPre {
 		// Early-release arbitration is serialized per register: if
@@ -647,43 +634,34 @@ func (e *Engine) RedefinerCommitted(d DstAlloc, cycle uint64) {
 	if !d.Prev.Valid() {
 		return
 	}
-	if life := e.life(d.Prev); life != nil {
-		life.Committed = cycle
-		if life.Precommitted == 0 {
-			life.Precommitted = cycle
+	b := &e.banks[d.Prev.Class]
+	if rec, ok := b.lives.take(d.Prev.Tag, d.Prev.Gen); ok {
+		rec.Committed = cycle
+		if rec.Precommitted == 0 {
+			rec.Precommitted = cycle
 		}
-		e.Ledger.Record(life)
-		delete(e.lives, d.Prev)
-		e.freeLife(life)
+		e.Ledger.Record(&rec)
 	}
-	key := mapping{d.Prev, d.Reg}
 	if !d.PrevValid {
 		// Claimed by ATR. Close the interrupt region if it was open.
-		if cs, ok := e.claims[key]; ok {
-			if cs.allocCommitted {
-				e.openRegions--
-			}
-			delete(e.claims, key)
+		if cs, ok := b.claims.take(d.Prev.Tag, d.Prev.Gen, d.Reg); ok && cs.allocCommitted {
+			e.openRegions--
 		}
-		if e.earlyReleased[key] {
-			delete(e.earlyReleased, key)
+		if b.early.takeOne(d.Prev.Tag, d.Prev.Gen, d.Reg) {
 			return
 		}
 		// ATR has not released this mapping yet (it is still awaiting
 		// its delayed redefine signal); commit of the redefiner makes
 		// it dead for certain, so force the release now.
-		b := &e.banks[d.Prev.Class]
 		p := &b.pregs[d.Prev.Tag]
 		if p.gen == d.Prev.Gen && !p.free {
 			e.release(d.Prev, relATR, cycle)
 		}
 		return
 	}
-	if e.earlyReleased[key] {
-		delete(e.earlyReleased, key) // nonspec-ER already dropped this mapping
-		return
+	if b.early.takeOne(d.Prev.Tag, d.Prev.Gen, d.Reg) {
+		return // nonspec-ER already dropped this mapping
 	}
-	b := &e.banks[d.Prev.Class]
 	p := &b.pregs[d.Prev.Tag]
 	if p.gen == d.Prev.Gen && !p.free {
 		e.release(d.Prev, relCommit, cycle)
@@ -701,10 +679,8 @@ func (e *Engine) AllocCommitted(d DstAlloc) {
 	if p.gen == a.Gen {
 		p.allocCommitted = true
 	}
-	key := mapping{a, d.Reg}
-	if cs, ok := e.claims[key]; ok && !cs.allocCommitted {
+	if cs := b.claims.ref(a.Tag, a.Gen, d.Reg); cs != nil && !cs.allocCommitted {
 		cs.allocCommitted = true
-		e.claims[key] = cs
 		e.openRegions++
 	}
 }
@@ -719,10 +695,8 @@ func (e *Engine) AllocPrecommitted(d DstAlloc) {
 	if p.gen == a.Gen {
 		p.allocPrecommitted = true
 	}
-	key := mapping{a, d.Reg}
-	if cs, ok := e.claims[key]; ok && !cs.allocPre {
+	if cs := b.claims.ref(a.Tag, a.Gen, d.Reg); cs != nil && !cs.allocPre {
 		cs.allocPre = true
-		e.claims[key] = cs
 		if !cs.redefPre {
 			e.openPre++
 		}
@@ -764,23 +738,19 @@ func (e *Engine) FlushInstr(out *RenameOut, cycle uint64) {
 		// eliminated move holds only a reference to a register someone
 		// else allocated: drop the reference but leave the original
 		// allocation's lifetime and claim state alone.
+		b := &e.banks[d.New.Class]
 		if !d.Eliminated {
-			if life := e.life(d.New); life != nil {
-				life.WrongPath = true
-				e.Ledger.Record(life)
-				delete(e.lives, d.New)
-				e.freeLife(life)
+			if rec, ok := b.lives.take(d.New.Tag, d.New.Gen); ok {
+				rec.WrongPath = true
+				e.Ledger.Record(&rec)
 			}
 		}
-		key := mapping{d.New, d.Reg}
-		delete(e.claims, key)
-		if e.earlyReleased[key] {
+		b.claims.take(d.New.Tag, d.New.Gen, d.Reg)
+		if b.early.takeOne(d.New.Tag, d.New.Gen, d.Reg) {
 			// This mapping's reference was already dropped early;
 			// the flush must not drop it again.
-			delete(e.earlyReleased, key)
 			continue
 		}
-		b := &e.banks[d.New.Class]
 		p := &b.pregs[d.New.Tag]
 		if p.gen == d.New.Gen && !p.free {
 			e.release(d.New, relFlush, cycle)
@@ -877,11 +847,11 @@ func (e *Engine) release(a Alloc, kind relKind, cycle uint64) {
 }
 
 // Finalize records all still-tracked lifetimes (end of simulation window).
+// Drain order is ascending tag per class — deterministic, and harmless to
+// results because the ledger accumulates order-insensitive sums.
 func (e *Engine) Finalize() {
-	for a, life := range e.lives {
-		e.Ledger.Record(life)
-		delete(e.lives, a)
-		e.freeLife(life)
+	for c := range e.banks {
+		e.banks[c].lives.drain(func(l *stats.RegLifetime) { e.Ledger.Record(l) })
 	}
 }
 
@@ -925,6 +895,15 @@ func (e *Engine) CheckInvariants() error {
 			if b.pregs[t].free {
 				return fmt.Errorf("core: class %d SRT[%d] maps to free ptag %d", c, a, t)
 			}
+		}
+		if err := b.lives.check(); err != nil {
+			return err
+		}
+		if err := b.claims.check(); err != nil {
+			return err
+		}
+		if err := b.early.check(); err != nil {
+			return err
 		}
 	}
 	if e.openRegions < 0 {

@@ -675,8 +675,8 @@ func TestFinalizeRecordsLives(t *testing.T) {
 	i1 := alu(isa.R1, isa.R2)
 	e.Rename(&i1, 1)
 	e.Finalize()
-	if len(e.lives) != 0 {
-		t.Errorf("%d lives left after Finalize", len(e.lives))
+	if n := e.trackedLives(); n != 0 {
+		t.Errorf("%d lives left after Finalize", n)
 	}
 }
 

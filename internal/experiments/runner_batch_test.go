@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"atr/internal/config"
+	"atr/internal/workload"
+)
+
+// TestRunBatchMatchesRun is the runner-level batching oracle: RunBatch
+// must fill the memo cache with exactly the stats Run computes solo —
+// same Result, same ledger-derived figures, same power model — and the
+// two entry points must interoperate on one cache in either order.
+func TestRunBatchMatchesRun(t *testing.T) {
+	p := workload.Profiles()[2]
+	cfgs := []config.Config{
+		config.GoldenCove().WithPhysRegs(64).WithScheme(config.SchemeATR),
+		config.GoldenCove().WithPhysRegs(64).WithScheme(config.SchemeCombined),
+		config.GoldenCove().WithPhysRegs(128).WithScheme(config.SchemeATR),
+		config.GoldenCove().WithPhysRegs(224).WithScheme(config.SchemeBaseline),
+	}
+
+	solo := NewRunner(2000)
+	want := make([]RunStats, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = solo.Run(p, cfg)
+	}
+
+	batched := NewRunner(2000)
+	got := batched.RunBatch(p, cfgs)
+	for i := range cfgs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("cfg %d: RunBatch stats diverge from Run\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if runs, _, _ := batched.Totals(); runs != len(cfgs) {
+		t.Errorf("RunBatch accounted %d unique runs, want %d", runs, len(cfgs))
+	}
+
+	// Batched entries serve later solo lookups from the memo...
+	for i, cfg := range cfgs {
+		if again := batched.Run(p, cfg); !reflect.DeepEqual(again, want[i]) {
+			t.Errorf("cfg %d: post-batch Run differs from solo", i)
+		}
+	}
+	if runs, _, _ := batched.Totals(); runs != len(cfgs) {
+		t.Errorf("post-batch Runs re-simulated: %d unique runs, want %d", runs, len(cfgs))
+	}
+
+	// ...and a batch over a partially-resident cache only occupies lanes
+	// for the misses.
+	mixed := NewRunner(2000)
+	mixed.Run(p, cfgs[1])
+	mixed.Run(p, cfgs[3])
+	res := mixed.RunBatch(p, cfgs)
+	for i := range cfgs {
+		if !reflect.DeepEqual(res[i], want[i]) {
+			t.Errorf("cfg %d: partial-cache RunBatch differs from solo", i)
+		}
+	}
+	if runs, _, _ := mixed.Totals(); runs != len(cfgs) {
+		t.Errorf("partial-cache path executed %d unique runs, want %d", runs, len(cfgs))
+	}
+	if hits, _, _ := mixed.CacheStats(); hits != 2 {
+		t.Errorf("partial-cache RunBatch memo hits = %d, want 2", hits)
+	}
+}

@@ -72,6 +72,13 @@ type CPU struct {
 	committed uint64
 	cycle     uint64
 
+	// Incremental-run state (RunFor/Finish): deadlock-watchdog progress
+	// tracking and whether the program halted, carried across budget
+	// slices so a sliced run behaves exactly like an unsliced one.
+	runLastCommit uint64
+	runStuck      uint64
+	runHalted     bool
+
 	// Exceptions and interrupts.
 	faulted          map[uint64]bool // PCs whose one-shot fault already fired
 	pendingInterrupt bool
@@ -87,10 +94,10 @@ type CPU struct {
 	hLSQForwards  stats.Handle
 	hIntrDeferred stats.Handle
 	mispredicts   uint64
-	flushes     uint64
-	exceptions  uint64
-	interrupts  uint64
-	renameStall uint64
+	flushes       uint64
+	exceptions    uint64
+	interrupts    uint64
+	renameStall   uint64
 
 	// Register-file occupancy accounting (for utilization stats).
 	occupancySum uint64
@@ -196,7 +203,10 @@ func NewWithScheduler(cfg config.Config, prog *program.Program, kind SchedulerKi
 		c.ready[a.Class][a.Tag] = true
 	}
 	if kind == SchedulerEvent {
-		c.ev = newEvsched(n)
+		// Slab capacity is exact: a live uop is always in the decode
+		// queue or the ROB, both bounded (plus slack for the squash
+		// walk's transient).
+		c.ev = newEvsched(n, cfg.DecodeQueue+cfg.ROBSize+8)
 	}
 	return c
 }
@@ -223,28 +233,52 @@ type Result struct {
 // commit progress for an implausibly long window), which would indicate a
 // model bug.
 func (c *CPU) Run(maxInstr uint64) Result {
-	lastCommit := c.committed
-	stuck := uint64(0)
-	halted := false
+	c.runLastCommit = c.committed
+	c.runStuck = 0
+	c.runHalted = false
+	for !c.RunFor(maxInstr, ^uint64(0)) {
+	}
+	return c.Finish()
+}
+
+// RunFor advances the simulation by at most budget cycles, stopping early
+// once maxInstr instructions have committed or the program halts. It
+// returns true when the run is finished (target reached or halted) and
+// false when only the cycle budget expired — call again to continue. The
+// cycle-for-cycle state sequence is identical no matter how the budget
+// slices the run, which is what lets the batch executor interleave lanes
+// without perturbing a single bit of any lane's result.
+func (c *CPU) RunFor(maxInstr, budget uint64) bool {
 	for c.committed < maxInstr {
 		if c.robEmptyAndHalted() {
-			halted = true
-			break
+			c.runHalted = true
+			return true
 		}
+		if budget == 0 {
+			return false
+		}
+		budget--
 		c.step()
-		if c.committed == lastCommit {
-			stuck++
-			if stuck > 1_000_000 {
+		if c.committed == c.runLastCommit {
+			c.runStuck++
+			if c.runStuck > 1_000_000 {
 				panic(fmt.Sprintf("pipeline: no commit progress for 1M cycles at cycle %d (pc=%d hold=%d rob=%d dq=%d inflight=%d pending=%v open=%d free=%d committed=%d)",
 					c.cycle, c.fetchPC, c.fetchHold, c.rob.len(), c.dqLen(),
 					c.inflightCount(), c.pendingInterrupt, c.Engine.OpenRegions(),
 					c.Engine.FreeCount(isa.ClassGPR), c.committed))
 			}
 		} else {
-			stuck = 0
-			lastCommit = c.committed
+			c.runStuck = 0
+			c.runLastCommit = c.committed
 		}
 	}
+	return true
+}
+
+// Finish finalizes the sampler and the release engine and returns the run
+// summary. Call exactly once after RunFor reports the run finished; Run
+// does both for the common single-shot case.
+func (c *CPU) Finish() Result {
 	if c.obs != nil && c.obs.Sampler != nil {
 		c.obs.Sampler.Finalize(c.snapshot())
 	}
@@ -260,7 +294,7 @@ func (c *CPU) Run(maxInstr uint64) Result {
 		BranchAccuracy:   c.Pred.CondAccuracy(),
 		IndirectAccuracy: c.Pred.IndirectAccuracy(),
 		L1DHitRate:       c.Mem.L1D.HitRate(),
-		Halted:           halted,
+		Halted:           c.runHalted,
 	}
 	if c.cycle > 0 {
 		res.IPC = float64(c.committed) / float64(c.cycle)
@@ -500,7 +534,7 @@ func (c *CPU) renameStage() {
 			c.renameStall++
 			return
 		}
-		u.ren = c.Engine.Rename(u.inst, c.cycle)
+		c.Engine.RenameInto(u.inst, c.cycle, &u.ren)
 		u.renamed = true
 		u.renCycle = c.cycle
 		for i := 0; i < isa.MaxDsts; i++ {

@@ -18,8 +18,11 @@ package pipeline
 //     loadMayIssue ordering check O(1), and an EA-hashed intrusive chain
 //     over issued stores makes forwardFrom O(1) amortized; STD capture is
 //     driven off wakeup events instead of a full SQ sweep;
-//   - uop pooling: committed and squashed uops recycle through a free list,
-//     so steady-state simulation performs no per-instruction allocation.
+//   - uop slab: every in-flight uop lives in one contiguous fixed-capacity
+//     arena; committed and squashed uops recycle through an index free
+//     list, so steady-state simulation performs no per-instruction
+//     allocation and cross-structure references are pointer-free slab
+//     indices the garbage collector never scans.
 //
 // Squash safety uses lazy invalidation instead of unlink surgery: every
 // cross-structure reference is a schedRef carrying the uop's generation at
@@ -53,23 +56,32 @@ const (
 	fwdMask    = fwdBuckets - 1
 )
 
-// schedRef is a generation-tagged reference to a uop. seq is copied at
-// registration so ordering never reads recycled memory.
+// schedRef is a generation-tagged reference to a slab-resident uop. It is
+// pointer-free — a slab index plus the uop's generation at registration —
+// so the heaps, wheel slots, and stall lists that hold schedRefs are
+// invisible to the garbage collector and their writes pay no write barrier.
+// seq is copied at registration so ordering never reads recycled memory.
 type schedRef struct {
-	u   *uop
 	seq uint64
+	idx int32
 	gen uint32
 }
 
-// live reports whether the referenced uop has not been recycled since this
-// reference was taken.
-func (r schedRef) live() bool { return r.u.gen == r.gen }
+func (u *uop) ref() schedRef { return schedRef{seq: u.seq, idx: u.idx, gen: u.gen} }
 
-func (u *uop) ref() schedRef { return schedRef{u: u, seq: u.seq, gen: u.gen} }
+// deref resolves a reference, returning nil if the uop was recycled since
+// the reference was taken.
+func (s *evsched) deref(r schedRef) *uop {
+	u := &s.slab[r.idx]
+	if u.gen != r.gen {
+		return nil
+	}
+	return u
+}
 
 // waitEnt is one wakeup-list entry: a uop waiting on a physical register.
 type waitEnt struct {
-	u    *uop
+	idx  int32
 	gen  uint32
 	data bool // store STD source (arms capture) rather than an issue gate
 }
@@ -92,9 +104,9 @@ func (h *readyHeap) push(e schedRef) {
 }
 
 // peek returns the oldest live entry, discarding stale (recycled) tops.
-func (h *readyHeap) peek() (schedRef, bool) {
+func (h *readyHeap) peek(s *evsched) (schedRef, bool) {
 	for len(*h) > 0 {
-		if e := (*h)[0]; e.live() {
+		if e := (*h)[0]; s.slab[e.idx].gen == e.gen {
 			return e, true
 		}
 		h.pop()
@@ -163,19 +175,37 @@ type evsched struct {
 	doneBuf []schedRef
 
 	// fwd is a fixed-size open hash over issued stores' effective
-	// addresses, chained intrusively through uop.fwdNext.
-	fwd [fwdBuckets]*uop
+	// addresses, chained intrusively through uop.fwdNext slab indices
+	// (-1 terminates).
+	fwd [fwdBuckets]int32
 
 	// sqFirst indexes c.sq at the oldest unissued store (len(c.sq) when
 	// every store has issued): the O(1) loadMayIssue cursor.
 	sqFirst int
 
-	// pool is the uop free list.
-	pool []*uop
+	// slab is the uop arena: one contiguous, fixed-capacity allocation
+	// holding every in-flight uop, with freeIdx the index free list. The
+	// slab never grows, so *uop pointers into it stay valid for a uop's
+	// whole flight; schedRefs address it by index. Capacity is exact —
+	// a uop is always in the decode queue or the ROB — so exhaustion is
+	// an accounting bug, not a sizing problem.
+	slab    []uop
+	freeIdx []int32
 }
 
-func newEvsched(npregs int) *evsched {
-	s := &evsched{}
+func newEvsched(npregs, slabCap int) *evsched {
+	s := &evsched{
+		slab:    make([]uop, slabCap),
+		freeIdx: make([]int32, slabCap),
+	}
+	for i := range s.slab {
+		s.slab[i].idx = int32(i)
+		s.slab[i].fwdNext = -1
+		s.freeIdx[i] = int32(slabCap - 1 - i)
+	}
+	for i := range s.fwd {
+		s.fwd[i] = -1
+	}
 	for cl := range s.waiters {
 		s.waiters[cl] = make([][]waitEnt, npregs)
 	}
@@ -189,20 +219,20 @@ func newEvsched(npregs int) *evsched {
 	return s
 }
 
-// getUop returns a zeroed uop, recycled when the pool is non-empty. The
-// generation and the capacity of the per-uop slices survive the reset.
+// getUop returns a zeroed slab uop. The slab index, the generation, and the
+// capacity of the per-uop slices survive the reset.
 func (s *evsched) getUop() *uop {
-	n := len(s.pool) - 1
+	n := len(s.freeIdx) - 1
 	if n < 0 {
-		return new(uop)
+		panic("pipeline: uop slab exhausted (in-flight uops exceed decode queue + ROB)")
 	}
-	u := s.pool[n]
-	s.pool[n] = nil
-	s.pool = s.pool[:n]
+	i := s.freeIdx[n]
+	s.freeIdx = s.freeIdx[:n]
+	u := &s.slab[i]
 	gen := u.gen
 	si, sd := u.stallIssue[:0], u.stallData[:0]
 	ras := u.pred.Checkpoint.RAS[:0]
-	*u = uop{gen: gen, stallIssue: si, stallData: sd}
+	*u = uop{idx: i, gen: gen, fwdNext: -1, stallIssue: si, stallData: sd}
 	u.pred.Checkpoint.RAS = ras
 	return u
 }
@@ -211,11 +241,11 @@ func (s *evsched) getUop() *uop {
 // waitEnt still pointing at it.
 func (s *evsched) putUop(u *uop) {
 	u.gen++
-	s.pool = append(s.pool, u)
+	s.freeIdx = append(s.freeIdx, u.idx)
 }
 
 func (s *evsched) addWaiter(a core.Alloc, u *uop, data bool) {
-	s.waiters[a.Class][a.Tag] = append(s.waiters[a.Class][a.Tag], waitEnt{u: u, gen: u.gen, data: data})
+	s.waiters[a.Class][a.Tag] = append(s.waiters[a.Class][a.Tag], waitEnt{idx: u.idx, gen: u.gen, data: data})
 }
 
 func (s *evsched) pushReady(u *uop) {
@@ -264,18 +294,19 @@ func (c *CPU) wake(a core.Alloc) {
 		return
 	}
 	for _, w := range list {
-		if w.u.gen != w.gen {
+		u := &s.slab[w.idx]
+		if u.gen != w.gen {
 			continue // squashed and recycled since registration
 		}
 		if w.data {
-			w.u.stSrcRdy = true
-			if w.u.issued && !w.u.stDataRdy {
-				s.capQ = append(s.capQ, w.u.ref())
+			u.stSrcRdy = true
+			if u.issued && !u.stDataRdy {
+				s.capQ = append(s.capQ, u.ref())
 			}
 			continue
 		}
-		if w.u.waitCnt--; w.u.waitCnt == 0 {
-			s.pushReady(w.u)
+		if u.waitCnt--; u.waitCnt == 0 {
+			s.pushReady(u)
 		}
 	}
 	s.waiters[a.Class][a.Tag] = list[:0]
@@ -303,11 +334,12 @@ func (s *evsched) schedule(u *uop, cycle uint64) {
 func (s *evsched) migrate(cycle uint64) {
 	n := 0
 	for _, e := range s.overflow {
-		if !e.live() {
+		u := s.deref(e)
+		if u == nil {
 			s.pending--
 			continue
 		}
-		if d := e.u.doneAt; d-cycle < wheelSize {
+		if d := u.doneAt; d-cycle < wheelSize {
 			s.wheel[d&wheelMask] = append(s.wheel[d&wheelMask], e)
 		} else {
 			s.overflow[n] = e
@@ -333,11 +365,10 @@ func (c *CPU) onIssue(u *uop) {
 		s.sqFirst++
 	}
 	for _, r := range u.stallIssue {
-		if r.live() {
-			s.pushReady(r.u)
+		if w := s.deref(r); w != nil {
+			s.pushReady(w)
 		}
 	}
-	clear(u.stallIssue)
 	u.stallIssue = u.stallIssue[:0]
 	if u.stSrcRdy {
 		s.capQ = append(s.capQ, u.ref())
@@ -351,20 +382,20 @@ func fwdIndex(ea uint64) int { return int(program.Mix(ea) & fwdMask) }
 func (s *evsched) fwdInsert(u *uop) {
 	i := fwdIndex(u.ea)
 	u.fwdNext = s.fwd[i]
-	s.fwd[i] = u
+	s.fwd[i] = u.idx
 }
 
 func (s *evsched) fwdRemove(u *uop) {
 	i := fwdIndex(u.ea)
-	if s.fwd[i] == u {
+	if s.fwd[i] == u.idx {
 		s.fwd[i] = u.fwdNext
-		u.fwdNext = nil
+		u.fwdNext = -1
 		return
 	}
-	for p := s.fwd[i]; p != nil; p = p.fwdNext {
-		if p.fwdNext == u {
+	for j := s.fwd[i]; j >= 0; j = s.slab[j].fwdNext {
+		if p := &s.slab[j]; p.fwdNext == u.idx {
 			p.fwdNext = u.fwdNext
-			u.fwdNext = nil
+			u.fwdNext = -1
 			return
 		}
 	}
@@ -375,7 +406,8 @@ func (s *evsched) fwdRemove(u *uop) {
 // stores, so this matches the scan scheduler's forwardFrom.
 func (s *evsched) fwdLookup(ea uint64, seq uint64) *uop {
 	var match *uop
-	for st := s.fwd[fwdIndex(ea)]; st != nil; st = st.fwdNext {
+	for j := s.fwd[fwdIndex(ea)]; j >= 0; j = s.slab[j].fwdNext {
+		st := &s.slab[j]
 		if st.ea == ea && st.seq < seq && (match == nil || st.seq > match.seq) {
 			match = st
 		}
@@ -407,19 +439,18 @@ func (c *CPU) evCompleteStage() {
 	buf := s.doneBuf[:0]
 	for _, e := range bucket {
 		s.pending--
-		if e.live() {
+		if s.deref(e) != nil {
 			buf = append(buf, e)
 		}
 	}
-	clear(bucket)
 	s.wheel[slot] = bucket[:0]
 	slices.SortFunc(buf, cmpSeq)
 	s.doneBuf = buf
 	for _, e := range buf {
-		if !e.live() {
+		u := s.deref(e)
+		if u == nil {
 			continue // squashed by an older recovery this same cycle
 		}
-		u := e.u
 		c.writeback(u)
 		if u.inst.Op.IsControl() && u.actualNext != u.predNext {
 			u.mispredict = true
@@ -437,13 +468,12 @@ func (c *CPU) evCaptureStoreData() {
 		return
 	}
 	buf := append(s.capBuf[:0], s.capQ...)
-	clear(s.capQ)
 	s.capQ = s.capQ[:0]
 	slices.SortFunc(buf, cmpSeq)
 	s.capBuf = buf
 	for _, e := range buf {
-		u := e.u
-		if !e.live() || u.stDataRdy {
+		u := s.deref(e)
+		if u == nil || u.stDataRdy {
 			continue
 		}
 		if !u.inst.Srcs[1].Valid() {
@@ -458,11 +488,10 @@ func (c *CPU) evCaptureStoreData() {
 			c.srcReads++
 		}
 		for _, r := range u.stallData {
-			if r.live() {
-				s.pushReady(r.u)
+			if w := s.deref(r); w != nil {
+				s.pushReady(w)
 			}
 		}
-		clear(u.stallData)
 		u.stallData = u.stallData[:0]
 	}
 }
@@ -493,24 +522,24 @@ func (c *CPU) evIssueStage() {
 		kind := -1
 		var bestSeq uint64
 		if aluLeft > 0 {
-			if e, ok := s.ready[0].peek(); ok {
+			if e, ok := s.ready[0].peek(s); ok {
 				kind, bestSeq = 0, e.seq
 			}
 		}
 		if loadLeft > 0 {
-			if e, ok := s.ready[1].peek(); ok && (kind < 0 || e.seq < bestSeq) {
+			if e, ok := s.ready[1].peek(s); ok && (kind < 0 || e.seq < bestSeq) {
 				kind, bestSeq = 1, e.seq
 			}
 		}
 		if storeLeft > 0 {
-			if e, ok := s.ready[2].peek(); ok && (kind < 0 || e.seq < bestSeq) {
+			if e, ok := s.ready[2].peek(s); ok && (kind < 0 || e.seq < bestSeq) {
 				kind, bestSeq = 2, e.seq
 			}
 		}
 		if kind < 0 {
 			return
 		}
-		u := s.ready[kind].pop().u
+		u := &s.slab[s.ready[kind].pop().idx]
 		if kind == 1 {
 			if blk := c.evLoadBlocker(u); blk != nil {
 				blk.stallIssue = append(blk.stallIssue, u.ref())

@@ -60,14 +60,17 @@ type uop struct {
 	preAt        uint64 // cycle the precommit pointer passed this uop
 	squashed     bool
 
-	// Event scheduling (sched.go; all zero in scan mode). gen is bumped
-	// each time the uop recycles through the free list, invalidating any
-	// schedRef still held by a wait list, ready heap, wheel slot, or
-	// stall list.
+	// Event scheduling (sched.go; all zero in scan mode, which heap-
+	// allocates uops and never recycles them). idx is the uop's slot in
+	// the scheduler's slab arena, fixed for the CPU's lifetime; gen is
+	// bumped each time the slot recycles through the free list,
+	// invalidating any schedRef still held by a wait list, ready heap,
+	// wheel slot, or stall list.
+	idx        int32
 	gen        uint32
 	waitCnt    int8       // not-yet-ready register sources gating issue
 	stSrcRdy   bool       // store: the STD source register is ready
-	fwdNext    *uop       // store-forwarding hash chain (issued stores)
+	fwdNext    int32      // store-forwarding hash chain (slab index, -1 ends)
 	stallIssue []schedRef // loads waiting for this store's address issue
 	stallData  []schedRef // loads waiting for this store's data capture
 }
@@ -80,7 +83,10 @@ func (u *uop) mispredictable() bool {
 	return u.inst.Op.IsCondBranch() || u.inst.Op.IsIndirect()
 }
 
-// rob is a ring buffer of in-flight uops in fetch order.
+// rob is a ring buffer of in-flight uops in fetch order. Indices wrap by
+// conditional subtraction (head and offsets are always < 2×capacity), not
+// modulo — the commit and precommit walks index it several times per cycle
+// and an integer divide per access shows up in profiles.
 type rob struct {
 	buf  []*uop
 	head int
@@ -93,16 +99,23 @@ func (r *rob) len() int   { return r.n }
 func (r *rob) cap() int   { return len(r.buf) }
 func (r *rob) full() bool { return r.n == len(r.buf) }
 
+func (r *rob) wrap(i int) int {
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
 func (r *rob) push(u *uop) {
 	if r.full() {
 		panic("pipeline: ROB overflow")
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = u
+	r.buf[r.wrap(r.head+r.n)] = u
 	r.n++
 }
 
 // at returns the i-th oldest entry (0 = head).
-func (r *rob) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *rob) at(i int) *uop { return r.buf[r.wrap(r.head+i)] }
 
 func (r *rob) popHead() *uop {
 	if r.n == 0 {
@@ -110,7 +123,7 @@ func (r *rob) popHead() *uop {
 	}
 	u := r.buf[r.head]
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = r.wrap(r.head + 1)
 	r.n--
 	return u
 }
@@ -120,7 +133,7 @@ func (r *rob) popTail() *uop {
 	if r.n == 0 {
 		panic("pipeline: ROB underflow")
 	}
-	i := (r.head + r.n - 1) % len(r.buf)
+	i := r.wrap(r.head + r.n - 1)
 	u := r.buf[i]
 	r.buf[i] = nil
 	r.n--

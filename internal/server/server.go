@@ -27,6 +27,8 @@ import (
 	"sync"
 	"time"
 
+	"atr/internal/batch"
+	"atr/internal/config"
 	"atr/internal/experiments"
 	"atr/internal/obs"
 	"atr/internal/pipeline"
@@ -491,6 +493,7 @@ func (s *Server) runJob(j *Job) {
 		Resume:      resume,
 		JobID:       j.ID,
 		InjectPanic: j.Spec.InjectPanic,
+		BatchRun:    s.batchRunFunc(g.Instr),
 		OnProgress:  j.publish,
 		OnRun: func(u sweep.Unit, worker int, start time.Time, dur time.Duration, errMsg string) {
 			s.tm.runDuration.Observe(dur)
@@ -605,6 +608,33 @@ func (s *Server) runFunc(instr uint64) sweep.RunFunc {
 		res := pipeline.NewWithScheduler(u.Config, prog, pipeline.SchedulerEvent).Run(instr)
 		s.tm.runsExecuted.Inc()
 		return res, nil
+	}
+}
+
+// batchRunFunc is runFunc's lockstep counterpart: the engine hands it a
+// profile-homogeneous group of pending units (that invariant is the
+// engine's grouping rule), which execute as batch lanes over the
+// daemon's shared program image. Lane results are bit-identical to solo
+// runs, so serving batched cannot perturb manifest parity.
+func (s *Server) batchRunFunc(instr uint64) sweep.BatchRunFunc {
+	return func(ctx context.Context, us []sweep.Unit) ([]pipeline.Result, batch.Perf, error) {
+		cfgs := make([]config.Config, len(us))
+		for i, u := range us {
+			if err := u.Config.Validate(); err != nil {
+				return nil, batch.Perf{}, err
+			}
+			cfgs[i] = u.Config
+		}
+		prog := s.runner.Program(us[0].Profile)
+		lanes, perf := batch.Run(prog, cfgs, instr, batch.Options{})
+		res := make([]pipeline.Result, len(lanes))
+		for i, l := range lanes {
+			res[i] = l.Result
+		}
+		s.tm.runsExecuted.Add(uint64(len(us)))
+		s.tm.runsBatched.Add(uint64(len(us)))
+		s.tm.batchGroups.Inc()
+		return res, perf, nil
 	}
 }
 

@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"atr/internal/batch"
+	"atr/internal/pipeline"
+)
+
+// TestSweepBatchDeterminism is the batching contract: lockstep batching is
+// a pure scheduling decision, so the same grid run solo (Batch=1), at the
+// default lane width, and at K=4 yields byte-identical manifests — with
+// profile-major deterministic unit order and identical SHA-256 run keys —
+// and the batched engine actually batched.
+func TestSweepBatchDeterminism(t *testing.T) {
+	g := testGrid()
+	run, runBatch := SimPairScheduler(pipeline.SchedulerEvent, g.Instr)
+
+	solo := New(Options{Workers: 2, Batch: 1})
+	want, err := solo.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("solo sweep: %v", err)
+	}
+	if solo.Info().Batches != 0 || solo.Info().BatchedRuns != 0 {
+		t.Errorf("Batch=1 engine batched anyway: %+v", solo.Info())
+	}
+	wantBytes := encode(t, want)
+
+	// Keys and order are the grid's, independent of scheduling.
+	units := g.Units()
+	for i, r := range want.Runs {
+		if r.Seq != i || r.Key != units[i].Key {
+			t.Fatalf("run %d: seq=%d key=%s, want seq=%d key=%s", i, r.Seq, r.Key, i, units[i].Key)
+		}
+	}
+
+	for _, k := range []int{0, 4} {
+		eng := New(Options{Workers: 2, Batch: k})
+		m, err := eng.Execute(context.Background(), g, nil)
+		if err != nil {
+			t.Fatalf("batch=%d sweep: %v", k, err)
+		}
+		if !bytes.Equal(encode(t, m), wantBytes) {
+			t.Errorf("batch=%d manifest bytes differ from solo", k)
+		}
+		info := eng.Info()
+		if info.Batches == 0 || info.BatchedRuns == 0 {
+			t.Errorf("batch=%d engine never batched: %+v", k, info)
+		}
+		if info.BatchedRuns+(info.Done+info.Failed-info.BatchedRuns) != info.Total {
+			t.Errorf("batch=%d accounting inconsistent: %+v", k, info)
+		}
+	}
+
+	// An explicit RunFunc with its BatchRun counterpart behaves identically.
+	eng := New(Options{Workers: 1, Batch: 4, BatchRun: runBatch})
+	m, err := eng.Execute(context.Background(), g, run)
+	if err != nil {
+		t.Fatalf("explicit pair sweep: %v", err)
+	}
+	if !bytes.Equal(encode(t, m), wantBytes) {
+		t.Error("explicit RunFunc+BatchRun manifest differs from solo")
+	}
+	if eng.Info().Batches == 0 {
+		t.Errorf("explicit pair never batched: %+v", eng.Info())
+	}
+
+	// A custom RunFunc without a BatchRun counterpart must run unbatched —
+	// the engine has no way to know the lockstep equivalent.
+	eng2 := New(Options{Workers: 1, Batch: 4})
+	m2, err := eng2.Execute(context.Background(), g, run)
+	if err != nil {
+		t.Fatalf("unpaired sweep: %v", err)
+	}
+	if !bytes.Equal(encode(t, m2), wantBytes) {
+		t.Error("unpaired RunFunc manifest differs from solo")
+	}
+	if eng2.Info().Batches != 0 {
+		t.Errorf("unpaired RunFunc was batched: %+v", eng2.Info())
+	}
+}
+
+// TestSweepBatchResumeFromSoloJournal proves journals cross the batching
+// boundary: a journal written by a pre-batch (solo) sweep resumes into a
+// batched sweep byte-identically, and vice versa — records carry no trace
+// of the schedule that produced them.
+func TestSweepBatchResumeFromSoloJournal(t *testing.T) {
+	g := testGrid()
+
+	var soloJournal bytes.Buffer
+	solo := New(Options{Workers: 2, Batch: 1, Journal: &soloJournal})
+	want, err := solo.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("solo sweep: %v", err)
+	}
+	wantBytes := encode(t, want)
+
+	// Truncate the solo journal to a partial sweep, then resume batched.
+	lines := strings.Split(strings.TrimRight(soloJournal.String(), "\n"), "\n")
+	const keep = 7
+	partial := strings.Join(lines[:1+keep], "\n") + "\n"
+	j, err := LoadJournal(strings.NewReader(partial))
+	if err != nil {
+		t.Fatalf("load partial solo journal: %v", err)
+	}
+
+	var batchedJournal bytes.Buffer
+	batched := New(Options{Workers: 3, Batch: 4, Resume: j, Journal: &batchedJournal})
+	m, err := batched.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("batched resume: %v", err)
+	}
+	if !bytes.Equal(encode(t, m), wantBytes) {
+		t.Error("batched resume manifest differs from uninterrupted solo manifest")
+	}
+	if got := batched.Info().Resumed; got != keep {
+		t.Errorf("Resumed = %d, want %d", got, keep)
+	}
+	if batched.Info().Batches == 0 {
+		t.Errorf("resumed sweep never batched the remaining units: %+v", batched.Info())
+	}
+
+	// And back: the batched journal resumes into a solo sweep that executes
+	// nothing and reproduces the manifest.
+	j2, err := LoadJournal(bytes.NewReader(batchedJournal.Bytes()))
+	if err != nil {
+		t.Fatalf("load batched journal: %v", err)
+	}
+	eng := New(Options{Workers: 1, Batch: 1, Resume: j2})
+	again, err := eng.Execute(context.Background(), g,
+		func(ctx context.Context, u Unit) (pipeline.Result, error) {
+			t.Errorf("run %s re-executed despite complete batched journal", u.Key)
+			return pipeline.Result{}, nil
+		})
+	if err != nil {
+		t.Fatalf("solo resume of batched journal: %v", err)
+	}
+	if !bytes.Equal(encode(t, again), wantBytes) {
+		t.Error("solo resume of batched journal differs from solo manifest")
+	}
+}
+
+// TestSweepBatchInjectPanicFallsBack proves fault semantics survive
+// batching: a poisoned unit is excluded from lockstep groups, panics in
+// the per-unit path on every attempt, and is recorded exactly as an
+// unbatched sweep records it, while its profile-mates still batch.
+func TestSweepBatchInjectPanicFallsBack(t *testing.T) {
+	g := testGrid()
+	const poisoned = 3
+	eng := New(Options{Workers: 2, Batch: 4, Retries: 2, InjectPanic: poisoned})
+	m, err := eng.Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("batched sweep with injected panic: %v", err)
+	}
+	if m.Totals.Failed != 1 || m.Totals.Done != m.Grid.Total-1 {
+		t.Fatalf("totals %+v, want exactly one failure in %d runs", m.Totals, m.Grid.Total)
+	}
+	bad := m.Runs[poisoned-1]
+	if bad.Err == "" || !strings.Contains(bad.Err, "injected fault") {
+		t.Errorf("poisoned run error = %q, want injected fault panic", bad.Err)
+	}
+	if bad.Attempts != 3 {
+		t.Errorf("poisoned run attempts = %d, want 1+2 retries", bad.Attempts)
+	}
+	info := eng.Info()
+	if info.Retried != 2 {
+		t.Errorf("Retried = %d, want 2", info.Retried)
+	}
+	if info.Batches == 0 {
+		t.Errorf("healthy units never batched around the poisoned one: %+v", info)
+	}
+}
+
+// TestSweepBatchRunFailureFallsBack proves a broken BatchRun degrades to
+// per-unit execution instead of corrupting the sweep: every group call
+// fails, yet the manifest is byte-identical to solo and nothing is lost.
+func TestSweepBatchRunFailureFallsBack(t *testing.T) {
+	g := testGrid()
+	want, err := New(Options{Workers: 1, Batch: 1}).Execute(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("solo sweep: %v", err)
+	}
+
+	run, _ := SimPairScheduler(pipeline.SchedulerEvent, g.Instr)
+	broken := func(ctx context.Context, us []Unit) ([]pipeline.Result, batch.Perf, error) {
+		panic("batch executor exploded")
+	}
+	eng := New(Options{Workers: 2, Batch: 4, BatchRun: broken})
+	m, err := eng.Execute(context.Background(), g, run)
+	if err != nil {
+		t.Fatalf("sweep with broken BatchRun: %v", err)
+	}
+	if !bytes.Equal(encode(t, m), encode(t, want)) {
+		t.Error("fallback manifest differs from solo manifest")
+	}
+	if eng.Info().Batches != 0 {
+		t.Errorf("broken BatchRun recorded successful batches: %+v", eng.Info())
+	}
+	if eng.Info().Done != eng.Info().Total {
+		t.Errorf("fallback lost runs: %+v", eng.Info())
+	}
+}

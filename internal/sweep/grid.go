@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"atr/internal/batch"
 	"atr/internal/config"
 	"atr/internal/pipeline"
 	"atr/internal/program"
@@ -174,32 +175,74 @@ func GridByName(name string, instr uint64) (Grid, error) {
 // for the engine's manifest-determinism guarantee to hold.
 type RunFunc func(ctx context.Context, u Unit) (pipeline.Result, error)
 
+// BatchRunFunc executes several units sharing one profile in lockstep and
+// returns their results in unit order, plus the batch's phase timing. It
+// must be the exact lockstep counterpart of a RunFunc: results[i] must be
+// byte-identical to what the RunFunc would return for us[i] alone, so the
+// engine can batch or not batch without changing a byte of the manifest.
+// An error (or panic) fails the whole group; the engine then falls back to
+// per-unit execution with the RunFunc, preserving retry and
+// fault-isolation semantics.
+type BatchRunFunc func(ctx context.Context, us []Unit) ([]pipeline.Result, batch.Perf, error)
+
 type progOnce struct {
 	once sync.Once
 	prog *program.Program
 }
 
-// SimScheduler returns the standard RunFunc: simulate the unit's profile
-// under its config for instr instructions with the given scheduler
+// SimPairScheduler returns the standard run functions — solo and lockstep
+// batched — sharing one program cache: simulate each unit's profile under
+// its config for instr instructions with the given scheduler
 // implementation, generating each profile's program at most once per sweep
-// (programs are immutable code images, shared freely across workers).
-func SimScheduler(kind pipeline.SchedulerKind, instr uint64) RunFunc {
+// (programs are immutable code images, shared freely across workers and
+// lanes).
+func SimPairScheduler(kind pipeline.SchedulerKind, instr uint64) (RunFunc, BatchRunFunc) {
 	var mu sync.Mutex
 	progs := make(map[string]*progOnce)
-	return func(ctx context.Context, u Unit) (pipeline.Result, error) {
+	getProg := func(p workload.Profile) *program.Program {
+		mu.Lock()
+		e, ok := progs[p.Name]
+		if !ok {
+			e = &progOnce{}
+			progs[p.Name] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() { e.prog = p.Generate() })
+		return e.prog
+	}
+	run := func(ctx context.Context, u Unit) (pipeline.Result, error) {
 		if err := u.Config.Validate(); err != nil {
 			return pipeline.Result{}, err
 		}
-		mu.Lock()
-		e, ok := progs[u.Profile.Name]
-		if !ok {
-			e = &progOnce{}
-			progs[u.Profile.Name] = e
-		}
-		mu.Unlock()
-		e.once.Do(func() { e.prog = u.Profile.Generate() })
-		return pipeline.NewWithScheduler(u.Config, e.prog, kind).Run(instr), nil
+		prog := getProg(u.Profile)
+		return pipeline.NewWithScheduler(u.Config, prog, kind).Run(instr), nil
 	}
+	runBatch := func(ctx context.Context, us []Unit) ([]pipeline.Result, batch.Perf, error) {
+		cfgs := make([]config.Config, len(us))
+		for i, u := range us {
+			if u.Profile.Name != us[0].Profile.Name {
+				return nil, batch.Perf{}, fmt.Errorf("sweep: batch mixes profiles %q and %q", us[0].Profile.Name, u.Profile.Name)
+			}
+			if err := u.Config.Validate(); err != nil {
+				return nil, batch.Perf{}, err
+			}
+			cfgs[i] = u.Config
+		}
+		prog := getProg(us[0].Profile)
+		lanes, perf := batch.Run(prog, cfgs, instr, batch.Options{Kind: kind})
+		res := make([]pipeline.Result, len(lanes))
+		for i := range lanes {
+			res[i] = lanes[i].Result
+		}
+		return res, perf, nil
+	}
+	return run, runBatch
+}
+
+// SimScheduler returns the standard solo RunFunc (see SimPairScheduler).
+func SimScheduler(kind pipeline.SchedulerKind, instr uint64) RunFunc {
+	run, _ := SimPairScheduler(kind, instr)
+	return run
 }
 
 // Sim is SimScheduler on the default event-driven scheduler.
