@@ -16,6 +16,7 @@ import (
 
 	"atr/internal/bpred"
 	"atr/internal/cache"
+	"atr/internal/checkpoint"
 	"atr/internal/config"
 	"atr/internal/core"
 	"atr/internal/experiments"
@@ -345,6 +346,45 @@ func BenchmarkBatchedSweep(b *testing.B) {
 			b.ReportMetric(t.InstrPerSec(), "instr/s")
 		})
 	}
+}
+
+// BenchmarkSampledThroughput is the CI gate for sampled execution: the
+// exact and sampled sub-benchmarks simulate the same 2M-instruction gcc run
+// in one invocation, each reporting simulated cycles per wall second, and
+// CI requires the sampled rate to be at least 5x the exact rate. Sampled
+// cycles are the extrapolated estimate, which tracks the exact count to
+// within the plan's error bars, so the cycles/s ratio is the wall-clock
+// speedup.
+func BenchmarkSampledThroughput(b *testing.B) {
+	const instr = 2_000_000
+	plan := checkpoint.Plan{Period: 100_000, Window: 2000, Warmup: 500}
+	p, ok := workload.ByName("gcc")
+	if !ok {
+		b.Fatal("gcc profile missing")
+	}
+	prog := p.Generate()
+	cfg := config.GoldenCove().WithScheme(config.SchemeCombined).WithPhysRegs(64)
+
+	b.Run("exact", func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			res := pipeline.New(cfg, prog).Run(instr)
+			cycles += res.Cycles
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(cycles)/sec, "cycles/s")
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			est := checkpoint.Run(cfg, prog, pipeline.SchedulerEvent, instr, plan)
+			cycles += est.Result.Cycles
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(cycles)/sec, "cycles/s")
+		}
+	})
 }
 
 // BenchmarkCounters measures the bookkeeping hot paths that run once or

@@ -10,6 +10,7 @@
 //	       [-regs N] [-n instructions] [-delay N] [-walk] [-sched event|scan] [-v]
 //	       [-batch K] [-trace out.jsonl] [-o3view out.o3] [-json run.json]
 //	       [-sample N] [-samples out.csv|out.json]
+//	       [-sample-mode systematic:P/W/U]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -batch K simulates K identical lockstep lanes of the same configuration
@@ -17,6 +18,15 @@
 // finish bit-identical to lane 0 (and pass the engine invariants), or the
 // run fails. The manifest's perf block then records the lane count and
 // the setup/exec phase split. K < 1 is a usage error (exit 2).
+//
+// -sample-mode systematic:<period>/<window>/<warmup> switches to sampled
+// execution: the functional emulator fast-forwards between systematically
+// spaced windows (keeping predictor and cache state warm), the detailed
+// pipeline runs only inside the windows, and every reported statistic is an
+// extrapolated estimate with 95% confidence error bars. Sampled execution
+// is incompatible with -batch > 1 and with the per-CPU observers
+// (-trace/-o3view/-sample/-samples); combining them is a usage error
+// (exit 2).
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"atr/internal/batch"
+	"atr/internal/checkpoint"
 	"atr/internal/config"
 	"atr/internal/obs"
 	"atr/internal/pipeline"
@@ -51,6 +62,7 @@ func main() {
 	o3Path := flag.String("o3view", "", "write a gem5 O3PipeView trace (Konata-loadable) to this file")
 	jsonPath := flag.String("json", "", "write a machine-readable run manifest to this file")
 	sample := flag.Uint64("sample", 0, "interval sampler period in cycles (0 disables)")
+	sampleMode := flag.String("sample-mode", "", "sampled execution plan: systematic:<period>/<window>/<warmup> (empty = exact)")
 	samplesPath := flag.String("samples", "", "write the interval time series to this file (.csv or .json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
@@ -93,6 +105,24 @@ func main() {
 	if *batchK > 1 && (*tracePath != "" || *o3Path != "" || *sample > 0) {
 		fmt.Fprintln(os.Stderr, "atrsim: -batch > 1 is incompatible with -trace/-o3view/-sample (observers are per-CPU; the batched executor does not attach them)")
 		os.Exit(2)
+	}
+	var plan checkpoint.Plan
+	sampledRun := *sampleMode != ""
+	if sampledRun {
+		var err error
+		plan, err = checkpoint.ParseMode(*sampleMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atrsim:", err)
+			os.Exit(2)
+		}
+		if *batchK > 1 {
+			fmt.Fprintln(os.Stderr, "atrsim: -sample-mode is incompatible with -batch > 1 (sampled execution estimates one run from detail windows; lockstep lanes require exact full-detail simulation — run them separately)")
+			os.Exit(2)
+		}
+		if *tracePath != "" || *o3Path != "" || *sample > 0 {
+			fmt.Fprintln(os.Stderr, "atrsim: -sample-mode is incompatible with -trace/-o3view/-sample (observers watch a single detailed pipeline; a sampled run has many short-lived ones)")
+			os.Exit(2)
+		}
 	}
 
 	var observer obs.Observer
@@ -147,9 +177,13 @@ func main() {
 		cpu   *pipeline.CPU
 		res   pipeline.Result
 		bperf batch.Perf
+		est   checkpoint.Estimate
 	)
 	start := time.Now()
-	if *batchK > 1 {
+	if sampledRun {
+		est = checkpoint.Run(cfg, prog, sched, *n, plan)
+		res = est.Result
+	} else if *batchK > 1 {
 		cfgs := make([]config.Config, *batchK)
 		for i := range cfgs {
 			cfgs[i] = cfg
@@ -196,9 +230,13 @@ func main() {
 	}
 
 	// Gate on model invariants before reporting anything as a success.
-	if err := cpu.Engine.CheckInvariants(); err != nil {
-		fmt.Fprintln(os.Stderr, "atrsim: INVARIANT VIOLATION:", err)
-		os.Exit(1)
+	// A sampled run has no surviving pipeline to check: each window CPU is
+	// discarded after its statistics are differenced.
+	if cpu != nil {
+		if err := cpu.Engine.CheckInvariants(); err != nil {
+			fmt.Fprintln(os.Stderr, "atrsim: INVARIANT VIOLATION:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("benchmark      %s (%s), %d static instructions\n", p.Name, p.Class, prog.Len())
@@ -214,22 +252,31 @@ func main() {
 	fmt.Printf("renaming       %d stalls, %.1f regs live on average\n",
 		res.RenameStalls, res.AvgRegsLive)
 
-	led := cpu.Engine.Ledger
-	iu, un, vu := led.StateFractions()
-	nb, ne, at := led.RegionFractions()
-	fmt.Printf("lifecycle      in-use %.1f%%, unused %.1f%%, verified-unused %.1f%%\n",
-		100*iu, 100*un, 100*vu)
-	fmt.Printf("regions        non-branch %.1f%%, non-except %.1f%%, atomic %.1f%%\n",
-		100*nb, 100*ne, 100*at)
-	gr, gc, gm := led.EventGaps()
-	fmt.Printf("atomic gaps    rename->redefine %.1f, ->consume %.1f, ->commit %.1f cycles\n",
-		gr, gc, gm)
-	st := cpu.Engine.Stats
-	fmt.Printf("releases       atr %d, nonspec-er %d, commit %d, flush %d (claims %d)\n",
-		st.Get("release.atr"), st.Get("release.er"),
-		st.Get("release.commit"), st.Get("release.flush"), st.Get("atr.claims"))
-	if *verbose {
-		fmt.Printf("\ncounters:\n%s", st.String())
+	if cpu != nil {
+		led := cpu.Engine.Ledger
+		iu, un, vu := led.StateFractions()
+		nb, ne, at := led.RegionFractions()
+		fmt.Printf("lifecycle      in-use %.1f%%, unused %.1f%%, verified-unused %.1f%%\n",
+			100*iu, 100*un, 100*vu)
+		fmt.Printf("regions        non-branch %.1f%%, non-except %.1f%%, atomic %.1f%%\n",
+			100*nb, 100*ne, 100*at)
+		gr, gc, gm := led.EventGaps()
+		fmt.Printf("atomic gaps    rename->redefine %.1f, ->consume %.1f, ->commit %.1f cycles\n",
+			gr, gc, gm)
+		st := cpu.Engine.Stats
+		fmt.Printf("releases       atr %d, nonspec-er %d, commit %d, flush %d (claims %d)\n",
+			st.Get("release.atr"), st.Get("release.er"),
+			st.Get("release.commit"), st.Get("release.flush"), st.Get("atr.claims"))
+		if *verbose {
+			fmt.Printf("\ncounters:\n%s", st.String())
+		}
+	}
+	if sampledRun {
+		fmt.Printf("sampled        %s: %d windows, %d detailed, %d fast-forwarded\n",
+			est.Plan, est.Windows, est.DetailInstr, est.FFInstr)
+		fmt.Printf("error bars     IPC ±%.2f%%, mispredict ±%.2f%%, branch acc ±%.2f%%, L1D hit ±%.2f%% (95%% CI)\n",
+			100*est.RelErr.IPC, 100*est.RelErr.MispredictRate,
+			100*est.RelErr.BranchAcc, 100*est.RelErr.L1DHitRate)
 	}
 	fmt.Printf("simulated at   %.0fk instructions/second\n",
 		float64(res.Committed)/elapsed.Seconds()/1000)
@@ -242,7 +289,11 @@ func main() {
 		writeSamples(observer.Sampler, *samplesPath)
 	}
 	if *jsonPath != "" {
-		writeManifest(*jsonPath, p, prog.Len(), cfg, cpu, res, elapsed, &observer, *tracePath, *o3Path, bperf)
+		var estp *checkpoint.Estimate
+		if sampledRun {
+			estp = &est
+		}
+		writeManifest(*jsonPath, p, prog.Len(), cfg, cpu, res, elapsed, &observer, *tracePath, *o3Path, bperf, estp)
 	}
 }
 
@@ -282,7 +333,8 @@ func writeSamples(s *obs.Sampler, path string) {
 
 func writeManifest(path string, p workload.Profile, static int, cfg config.Config,
 	cpu *pipeline.CPU, res pipeline.Result, elapsed time.Duration,
-	observer *obs.Observer, tracePath, o3Path string, bperf batch.Perf) {
+	observer *obs.Observer, tracePath, o3Path string, bperf batch.Perf,
+	est *checkpoint.Estimate) {
 	m := obs.NewManifest()
 	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	m.Benchmark = obs.BenchmarkInfo{Name: p.Name, Class: p.Class, Seed: p.Seed, StaticInstrs: static}
@@ -295,20 +347,25 @@ func writeManifest(path string, p workload.Profile, static int, cfg config.Confi
 		IndirectAccuracy: res.IndirectAccuracy, L1DHitRate: res.L1DHitRate,
 		AvgRegsLive: res.AvgRegsLive, Halted: res.Halted,
 	}
-	led := cpu.Engine.Ledger
-	iu, un, vu := led.StateFractions()
-	nb, ne, at := led.RegionFractions()
-	gr, gc, gm := led.EventGaps()
-	m.Ledger = obs.LedgerSummary{
-		Completed: led.Completed(),
-		InUse:     iu, Unused: un, VerifiedUnused: vu,
-		NonBranch: nb, NonExcept: ne, Atomic: at,
-		GapRedefine: gr, GapConsume: gc, GapCommit: gm,
-		ConsumerMean: led.ConsumerHist.Mean(),
+	if cpu != nil {
+		led := cpu.Engine.Ledger
+		iu, un, vu := led.StateFractions()
+		nb, ne, at := led.RegionFractions()
+		gr, gc, gm := led.EventGaps()
+		m.Ledger = obs.LedgerSummary{
+			Completed: led.Completed(),
+			InUse:     iu, Unused: un, VerifiedUnused: vu,
+			NonBranch: nb, NonExcept: ne, Atomic: at,
+			GapRedefine: gr, GapConsume: gc, GapCommit: gm,
+			ConsumerMean: led.ConsumerHist.Mean(),
+		}
+		m.Counters = cpu.Engine.Stats.Snapshot()
+		for name, v := range cpu.Stats.Snapshot() {
+			m.Counters[name] = v
+		}
 	}
-	m.Counters = cpu.Engine.Stats.Snapshot()
-	for name, v := range cpu.Stats.Snapshot() {
-		m.Counters[name] = v
+	if est != nil {
+		m.Sample = est.Info()
 	}
 	m.Perf = obs.PerfInfo{
 		WallSeconds:  elapsed.Seconds(),

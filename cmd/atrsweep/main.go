@@ -10,6 +10,7 @@
 // Grid mode, selected by -grid:
 //
 //	atrsweep -grid fig10|full|micro [-n instructions] [-workers N] [-batch K]
+//	         [-sample-mode exact,systematic:P/W/U,...]
 //	         [-out manifest.json] [-journal sweep.jsonl] [-resume sweep.jsonl]
 //	         [-retries N] [-backoff d] [-timeout d] [-perf perf.json]
 //	         [-inject-panic k]
@@ -20,6 +21,13 @@
 // decision — the manifest bytes are identical either way — and its
 // telemetry (groups, lanes, setup/exec split) lands in the -perf file.
 // An explicit -batch below 1 is a usage error (exit 2).
+//
+// -sample-mode adds a sampled-execution axis to the grid: a comma-separated
+// list where each entry is either "exact" (full-detail simulation) or a
+// checkpoint plan "systematic:<period>/<window>/<warmup>". Every grid unit
+// is run once per listed mode; sampled units carry extrapolated estimates
+// and are excluded from lockstep batching. -sample-mode without -grid, or
+// with a malformed plan, is a usage error (exit 2).
 //
 // Grid mode writes a deterministic result manifest: the same grid produces
 // byte-identical -out files regardless of worker count or resume splits.
@@ -42,9 +50,11 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
+	"atr/internal/checkpoint"
 	"atr/internal/experiments"
 	"atr/internal/obs"
 	"atr/internal/sweep"
@@ -88,6 +98,7 @@ func main() {
 	perfPath := flag.String("perf", "", "grid mode: write scheduling telemetry (wall clock, shards) to this file")
 	injectPanic := flag.Int("inject-panic", 0, "grid mode: poison the k-th grid run (1-based) so every attempt panics")
 	batchK := flag.Int("batch", 0, "grid mode: lockstep lanes per profile-homogeneous batch (0 auto-selects, 1 disables)")
+	sampleModes := flag.String("sample-mode", "", "grid mode: comma-separated sampled-execution axis (exact and/or systematic:<period>/<window>/<warmup> plans)")
 	flag.Parse()
 
 	usageErr := func(msg string) {
@@ -108,9 +119,26 @@ func main() {
 	if *resumePath != "" && *journalPath == "" {
 		usageErr("-resume requires -journal: without one, runs completed after the resume point are lost on the next interruption")
 	}
+	if *sampleModes != "" && *grid == "" {
+		usageErr("-sample-mode is a grid axis and requires -grid (figure mode always runs exact)")
+	}
+	var modes []string
+	if *sampleModes != "" {
+		for _, m := range strings.Split(*sampleModes, ",") {
+			m = strings.TrimSpace(m)
+			if m == "exact" || m == "" {
+				modes = append(modes, "")
+				continue
+			}
+			if _, err := checkpoint.ParseMode(m); err != nil {
+				usageErr(err.Error())
+			}
+			modes = append(modes, m)
+		}
+	}
 
 	if *grid != "" {
-		os.Exit(runGrid(*grid, *n, *workers, *batchK, *out, *journalPath, *resumePath,
+		os.Exit(runGrid(*grid, *n, *workers, *batchK, modes, *out, *journalPath, *resumePath,
 			*retries, *backoff, *timeout, *perfPath, *injectPanic))
 	}
 
@@ -223,7 +251,8 @@ func main() {
 
 // runGrid executes one sweep grid on the engine and returns the process
 // exit code.
-func runGrid(name string, instr uint64, workers, batchK int, out, journalPath, resumePath string,
+func runGrid(name string, instr uint64, workers, batchK int, sampleModes []string,
+	out, journalPath, resumePath string,
 	retries int, backoff, timeout time.Duration, perfPath string, injectPanic int) int {
 
 	fail := func(err error) int {
@@ -235,6 +264,7 @@ func runGrid(name string, instr uint64, workers, batchK int, out, journalPath, r
 	if err != nil {
 		return fail(err)
 	}
+	g.SampleModes = sampleModes
 
 	opts := sweep.Options{
 		Workers:     workers,

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"atr/internal/obs"
@@ -208,6 +209,22 @@ func summarizeSweep(path string) {
 		g.Name, len(g.Profiles), len(g.PhysRegs), len(g.Schemes), g.Total, g.Instr)
 	fmt.Printf("totals         %d ok, %d failed; %d instructions, %d cycles\n",
 		m.Totals.Done, m.Totals.Failed, m.Totals.Committed, m.Totals.Cycles)
+	if len(g.SampleModes) > 0 {
+		fmt.Printf("sample axis    %s\n", strings.Join(g.SampleModes, ", "))
+	}
+	sampled := 0
+	for _, r := range m.Runs {
+		if r.Sample != "" {
+			sampled++
+		}
+	}
+	if sampled > 0 {
+		fmt.Printf("sampled runs   %d of %d are extrapolated estimates (plan in each run's \"sample\" field)\n",
+			sampled, len(m.Runs))
+		if sampled < len(m.Runs) {
+			fmt.Printf("WARNING        manifest mixes sampled and exact units: compare IPC only within one mode, never across\n")
+		}
+	}
 	for _, r := range m.Runs {
 		if r.Err != "" {
 			fmt.Printf("  FAIL run %d %s/%s prf=%d after %d attempt(s): %s\n",
@@ -245,6 +262,10 @@ func summarizePerf(path string, raw []byte) {
 		info.Done, info.Total, info.Failed, info.Retried, info.Resumed)
 	fmt.Printf("perf           %.2fs wall, %.0f cycles/s, %d journal flushes\n",
 		info.WallSeconds, info.CyclesPerSec, info.JournalFlushes)
+	if sm := info.Sample; sm != nil {
+		fmt.Printf("sampling       %d sampled + %d exact runs (modes: %s)\n",
+			sm.SampledRuns, sm.ExactRuns, strings.Join(sm.Modes, ", "))
+	}
 	if info.Batches > 0 {
 		// Lane occupancy: batched runs per group versus the configured cap.
 		fmt.Printf("batching       %d groups covering %d runs, %.1f/%d lanes occupied, %.2fs setup, %.2fs exec\n",
@@ -370,6 +391,12 @@ func summarizeManifest(path string) {
 		m.Config.Scheme, m.Config.PhysRegs, m.Config.ROBSize)
 	fmt.Printf("result         %d instructions, %d cycles, IPC %.3f\n",
 		m.Result.Committed, m.Result.Cycles, m.Result.IPC)
+	if sm := m.Sample; sm != nil {
+		fmt.Printf("sampled        %s: %d windows, %d detailed, %d fast-forwarded instructions\n",
+			sm.Mode, sm.Windows, sm.DetailInstr, sm.FFInstr)
+		fmt.Printf("error bars     IPC ±%.2f%%, mispredict ±%.2f%%, branch acc ±%.2f%%, L1D hit ±%.2f%% (95%% CI)\n",
+			100*sm.IPCRelErr, 100*sm.MispredictRelErr, 100*sm.BranchAccRelErr, 100*sm.L1DHitRelErr)
+	}
 	fmt.Printf("lifecycle      in-use %.1f%%, unused %.1f%%, verified-unused %.1f%%\n",
 		100*m.Ledger.InUse, 100*m.Ledger.Unused, 100*m.Ledger.VerifiedUnused)
 	fmt.Printf("atomic ratio   %.1f%%\n", 100*m.Ledger.Atomic)

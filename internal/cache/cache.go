@@ -80,6 +80,10 @@ func New(cfg config.CacheConfig) *Cache {
 // LineAddr returns the line-aligned address for addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
 
+// LineShift exposes the line-offset bit count so hot external loops can
+// compare line numbers without a method call per access.
+func (c *Cache) LineShift() uint { return c.lineShift }
+
 func (c *Cache) setOf(line uint64) int {
 	return int((line >> c.lineShift) % uint64(c.sets))
 }

@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"atr/internal/pipeline"
+	"atr/internal/workload"
+)
+
+// TestPlanShape is a diagnostic, not a gate: it sweeps sampling-plan shapes
+// against the full-detail oracle to pick the default schedule. Run with
+// ATR_SAMPLE_DIAG=1.
+func TestPlanShape(t *testing.T) {
+	if os.Getenv("ATR_SAMPLE_DIAG") == "" {
+		t.Skip("set ATR_SAMPLE_DIAG=1 to run")
+	}
+	cfg := testConfig()
+	const instr = 2000000
+	plans := []Plan{
+		{Period: 100000, Window: 2000, Warmup: 500},
+		{Period: 100000, Window: 5000, Warmup: 1000},
+		{Period: 50000, Window: 2000, Warmup: 500},
+		{Period: 50000, Window: 5000, Warmup: 1000},
+		{Period: 25000, Window: 2000, Warmup: 500},
+		{Period: 20000, Window: 1000, Warmup: 250},
+	}
+	for _, name := range []string{"gcc", "exchange2", "lbm"} {
+		p, _ := workload.ByName(name)
+		prog := p.Generate()
+		t0 := time.Now()
+		exact := pipeline.NewWithScheduler(cfg, prog, pipeline.SchedulerEvent).Run(instr)
+		exactWall := time.Since(t0)
+		for _, plan := range plans {
+			t1 := time.Now()
+			est := Run(cfg, prog, pipeline.SchedulerEvent, instr, plan)
+			wall := time.Since(t1)
+			err := (est.Result.IPC - exact.IPC) / exact.IPC
+			t.Logf("%-10s %-26s err %+5.2f%% ci ±%5.2f%% windows %3d speedup %5.1fx (%.2fs vs %.2fs)",
+				name, plan, 100*err, 100*est.RelErr.IPC, est.Windows,
+				exactWall.Seconds()/wall.Seconds(), wall.Seconds(), exactWall.Seconds())
+		}
+	}
+}
+
+// TestWindowSpread is a diagnostic: dump the per-window IPC distribution.
+// Run with ATR_SAMPLE_DIAG=1.
+func TestWindowSpread(t *testing.T) {
+	if os.Getenv("ATR_SAMPLE_DIAG") == "" {
+		t.Skip("set ATR_SAMPLE_DIAG=1 to run")
+	}
+	cfg := testConfig()
+	p, _ := workload.ByName("exchange2")
+	prog := p.Generate()
+	est := Run(cfg, prog, pipeline.SchedulerEvent, 2000000, Plan{Period: 100000, Window: 2000, Warmup: 500})
+	t.Logf("window IPCs: %v", est.WindowIPC)
+}
+
+// BenchmarkWarmAdvance measures the functional-warming fast-forward rate.
+func BenchmarkWarmAdvance(b *testing.B) {
+	cfg := testConfig()
+	p, _ := workload.ByName("gcc")
+	prog := p.Generate()
+	w := newWarmer(prog, cfg)
+	b.ResetTimer()
+	n := w.advance(uint64(b.N))
+	b.ReportMetric(float64(n), "instr")
+}
+
+// TestShortPlanPick is a diagnostic for choosing the tier-1 short-test plan.
+// Run with ATR_SAMPLE_DIAG=1.
+func TestShortPlanPick(t *testing.T) {
+	if os.Getenv("ATR_SAMPLE_DIAG") == "" {
+		t.Skip("set ATR_SAMPLE_DIAG=1 to run")
+	}
+	cfg := testConfig()
+	for _, instr := range []uint64{200000, 400000} {
+		for _, plan := range []Plan{
+			{Period: 10000, Window: 2000, Warmup: 500},
+			{Period: 10000, Window: 1000, Warmup: 250},
+			{Period: 5000, Window: 1000, Warmup: 250},
+		} {
+			for _, name := range []string{"gcc", "exchange2", "omnetpp"} {
+				p, _ := workload.ByName(name)
+				prog := p.Generate()
+				exact := pipeline.NewWithScheduler(cfg, prog, pipeline.SchedulerEvent).Run(instr)
+				est := Run(cfg, prog, pipeline.SchedulerEvent, instr, plan)
+				err := (est.Result.IPC - exact.IPC) / exact.IPC
+				t.Logf("n=%d %-24s %-10s err %+5.2f%%", instr, plan, name, 100*err)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"atr/internal/program"
+	"atr/internal/workload"
+)
+
+// fuzzProgs caches one generated program per profile: programs are immutable
+// code images, and regenerating them per fuzz iteration would drown the
+// round-trip logic under test.
+var fuzzProgs struct {
+	once  sync.Once
+	names []string
+	progs []*program.Program
+}
+
+func fuzzCorpus() ([]string, []*program.Program) {
+	fuzzProgs.once.Do(func() {
+		for _, p := range workload.Profiles() {
+			fuzzProgs.names = append(fuzzProgs.names, p.Name)
+			fuzzProgs.progs = append(fuzzProgs.progs, p.Generate())
+		}
+	})
+	return fuzzProgs.names, fuzzProgs.progs
+}
+
+// FuzzCheckpointRoundTrip fuzzes the full checkpoint pipeline over the
+// benchmark-profile corpus: warm an emulator to an arbitrary depth, Capture,
+// and require (a) Encode/Decode is lossless and canonical (re-encoding the
+// decoded checkpoint is byte-identical), and (b) a warmer rebuilt from the
+// decoded checkpoint continues bit-exactly — the property the whole sampled
+// simulator rests on.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	names, _ := fuzzCorpus()
+	for i := range names {
+		f.Add(uint8(i), uint32(1000*(i+1)))
+	}
+	f.Add(uint8(0), uint32(0))       // checkpoint before any instruction
+	f.Add(uint8(3), uint32(1))       // single-step prefix
+	f.Add(uint8(7), uint32(1<<31-1)) // step count clamped below
+
+	cfg := testConfig()
+	f.Fuzz(func(t *testing.T, profIdx uint8, steps uint32) {
+		names, progs := fuzzCorpus()
+		prog := progs[int(profIdx)%len(progs)]
+		name := names[int(profIdx)%len(names)]
+
+		w := newWarmer(prog, cfg)
+		w.advance(uint64(steps) % 30000)
+		cp := Capture(w.em, w.pred, w.mem)
+
+		data, err := cp.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(cp, got) {
+			t.Fatalf("%s: decode(encode(cp)) != cp", name)
+		}
+		data2, err := got.Encode()
+		if err != nil {
+			t.Fatalf("%s: re-Encode: %v", name, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("%s: encoding not canonical across a round trip", name)
+		}
+
+		// Continuation bit-exactness: a warmer rebuilt from the decoded
+		// checkpoint must track the original for the rest of the stream.
+		r := newWarmer(prog, cfg)
+		r.em = program.RestoreEmulator(prog, &got.Arch)
+		r.pred.Restore(got.Bpred)
+		r.mem.Restore(got.Cache)
+		r.lastILine = w.lastILine
+		w.advance(2000)
+		r.advance(2000)
+		if w.em.PC != r.em.PC || w.em.Regs != r.em.Regs || w.em.Done != r.em.Done {
+			t.Fatalf("%s: restored emulator diverged: PC %d != %d", name, r.em.PC, w.em.PC)
+		}
+		if !reflect.DeepEqual(w.pred.State(), r.pred.State()) {
+			t.Fatalf("%s: restored predictor diverged after continuation", name)
+		}
+		if !reflect.DeepEqual(w.mem.State(), r.mem.State()) {
+			t.Fatalf("%s: restored hierarchy diverged after continuation", name)
+		}
+	})
+}

@@ -108,6 +108,25 @@ type PerfInfo struct {
 	ExecSeconds  float64 `json:"exec_seconds,omitempty"`
 }
 
+// SampleInfo records sampled-simulation provenance: how the run's detail
+// windows were scheduled, how much of the instruction stream was simulated
+// in detail vs. only fast-forwarded, and the 95%-confidence relative error
+// bars the window variance implies for the extrapolated statistics. Its
+// presence marks every statistic in Result as an estimate.
+type SampleInfo struct {
+	Mode             string  `json:"mode"` // e.g. "systematic:100000/2000/500"
+	Period           uint64  `json:"period"`
+	Window           uint64  `json:"window"`
+	Warmup           uint64  `json:"warmup"`
+	Windows          int     `json:"windows"`
+	DetailInstr      uint64  `json:"detail_instr"`
+	FFInstr          uint64  `json:"ff_instr"`
+	IPCRelErr        float64 `json:"ipc_rel_err"`
+	MispredictRelErr float64 `json:"mispredict_rel_err,omitempty"`
+	BranchAccRelErr  float64 `json:"branch_acc_rel_err,omitempty"`
+	L1DHitRelErr     float64 `json:"l1d_hit_rel_err,omitempty"`
+}
+
 // TraceInfo summarizes an event trace emitted alongside a manifest.
 type TraceInfo struct {
 	JSONLPath string `json:"jsonl_path,omitempty"`
@@ -134,6 +153,10 @@ type Manifest struct {
 	Perf      PerfInfo          `json:"perf"`
 	Samples   []Sample          `json:"samples,omitempty"`
 	Trace     *TraceInfo        `json:"trace,omitempty"`
+	// Sample, when present, marks the run as sampled: Result holds
+	// extrapolated estimates rather than exact counts. Exact runs never
+	// emit this block, so the two can never be confused.
+	Sample *SampleInfo `json:"sample,omitempty"`
 }
 
 // NewManifest returns a manifest with schema identification and build

@@ -69,6 +69,18 @@ type SweepInfo struct {
 	StartedAt  string `json:"started_at,omitempty"`  // RFC3339
 	FinishedAt string `json:"finished_at,omitempty"` // RFC3339
 	JobID      string `json:"job_id,omitempty"`      // server job, when one ran this sweep
+
+	// Sample, when present, records that the grid carried a sampled-
+	// execution axis and how many units ran sampled vs. exact. Grids
+	// without the axis never emit this block.
+	Sample *SampleSweepInfo `json:"sample,omitempty"`
+}
+
+// SampleSweepInfo is the sweep-level sampled-execution provenance block.
+type SampleSweepInfo struct {
+	Modes       []string `json:"modes"` // axis values; "exact" = full detail
+	SampledRuns int      `json:"sampled_runs"`
+	ExactRuns   int      `json:"exact_runs"`
 }
 
 // Perf-manifest schema identification: the scheduling-telemetry artifact

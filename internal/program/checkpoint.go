@@ -1,0 +1,94 @@
+package program
+
+import (
+	"sort"
+
+	"atr/internal/isa"
+)
+
+// This file is the architectural half of checkpoint/restore: a serializable
+// snapshot of the in-order machine state (registers, PC, and the sparse
+// written-word memory image) that a restored emulator — or a detailed
+// pipeline primed via pipeline.Restore — resumes from bit-exactly.
+// Unwritten memory needs no snapshotting at all: its contents are a pure
+// function of (address, seed), so the image is only the written words.
+
+// MemWord is one written 8-byte word of the sparse memory image.
+type MemWord struct {
+	Addr uint64 `json:"addr"`
+	Val  uint64 `json:"val"`
+}
+
+// ArchState is the complete architectural state of a program at one
+// instruction boundary. Two emulators with equal ArchState produce
+// identical instruction streams forever after.
+type ArchState struct {
+	PC      uint64              `json:"pc"`
+	Regs    [isa.NumRegs]uint64 `json:"regs"`
+	MemSeed uint64              `json:"mem_seed"`
+	Mem     []MemWord           `json:"mem,omitempty"` // sorted by Addr
+	Steps   uint64              `json:"steps"`
+	Done    bool                `json:"done,omitempty"`
+}
+
+// Seed returns the memory's uninitialized-content seed.
+func (m *Memory) Seed() uint64 { return m.seed }
+
+// Snapshot returns the written words sorted by address — the deterministic
+// serialization of the memory image (table layout never leaks out). An
+// unwritten memory snapshots to nil, so the JSON form (whose omitempty drops
+// the field) decodes back to an equal value.
+func (m *Memory) Snapshot() []MemWord {
+	if m.n == 0 {
+		return nil
+	}
+	words := make([]MemWord, 0, m.n)
+	for i, k := range m.keys {
+		if k != 0 {
+			words = append(words, MemWord{Addr: k &^ 7, Val: m.vals[i]})
+		}
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i].Addr < words[j].Addr })
+	return words
+}
+
+// RestoreMemory builds a memory whose observable contents equal the one a
+// Snapshot was taken from.
+func RestoreMemory(seed uint64, words []MemWord) *Memory {
+	m := NewMemory(seed)
+	for _, w := range words {
+		m.Write(w.Addr, w.Val)
+	}
+	return m
+}
+
+// Checkpoint captures the emulator's architectural state.
+func (e *Emulator) Checkpoint() ArchState {
+	return ArchState{
+		PC:      e.PC,
+		Regs:    e.Regs,
+		MemSeed: e.Mem.Seed(),
+		Mem:     e.Mem.Snapshot(),
+		Steps:   e.steps,
+		Done:    e.Done,
+	}
+}
+
+// NewMemory materializes the snapshot's memory image.
+func (st *ArchState) NewMemory() *Memory {
+	return RestoreMemory(st.MemSeed, st.Mem)
+}
+
+// RestoreEmulator builds an emulator for p positioned exactly at st: its
+// subsequent Step stream is bit-identical to the emulator the checkpoint
+// was captured from.
+func RestoreEmulator(p *Program, st *ArchState) *Emulator {
+	return &Emulator{
+		Prog:  p,
+		Regs:  st.Regs,
+		Mem:   st.NewMemory(),
+		PC:    st.PC,
+		Done:  st.Done,
+		steps: st.Steps,
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"atr/internal/checkpoint"
 	"atr/internal/config"
 	"atr/internal/obs"
 	"atr/internal/sweep"
@@ -39,6 +40,16 @@ type JobSpec struct {
 	Bench  string `json:"bench,omitempty"`
 	Scheme string `json:"scheme,omitempty"`
 	Regs   int    `json:"regs,omitempty"` // 0 selects the base config's size
+
+	// Sample selects sampled execution for Kind "run": a checkpoint plan
+	// in -sample-mode syntax ("systematic:<period>/<window>/<warmup>"),
+	// or empty for exact simulation.
+	Sample string `json:"sample,omitempty"`
+
+	// SampleModes is the sampled-execution axis for Kind "grid": each
+	// entry is a sampling plan or "exact". Empty runs the whole grid
+	// exact.
+	SampleModes []string `json:"sample_modes,omitempty"`
 
 	// Ephemeral ties the job to the submitting connection: if the client
 	// that submitted with ?watch=1 disconnects mid-stream, the job is
@@ -87,10 +98,25 @@ func (s JobSpec) grid(defaultInstr uint64) (sweep.Grid, error) {
 		if s.Regs != 0 {
 			g.PhysRegs = []int{s.Regs}
 		}
+		if s.Sample != "" {
+			if _, err := checkpoint.ParseMode(s.Sample); err != nil {
+				return sweep.Grid{}, err
+			}
+			g.SampleModes = []string{s.Sample}
+		}
 		return g, nil
 	case "grid":
+		modes, err := parseSampleModes(s.SampleModes)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
 		if s.Grid != "" {
-			return sweep.GridByName(s.Grid, instr)
+			g, err := sweep.GridByName(s.Grid, instr)
+			if err != nil {
+				return sweep.Grid{}, err
+			}
+			g.SampleModes = modes
+			return g, nil
 		}
 		if len(s.Profiles) == 0 {
 			return sweep.Grid{}, fmt.Errorf("custom grid declares no profiles")
@@ -118,9 +144,27 @@ func (s JobSpec) grid(defaultInstr uint64) (sweep.Grid, error) {
 			}
 			g.Schemes = append(g.Schemes, sc)
 		}
+		g.SampleModes = modes
 		return g, nil
 	}
 	return sweep.Grid{}, fmt.Errorf("unknown job kind %q (want run or grid)", s.Kind)
+}
+
+// parseSampleModes validates a spec's sample_modes axis and maps the
+// "exact" spelling to the empty string sweep.Grid uses internally.
+func parseSampleModes(specs []string) ([]string, error) {
+	var modes []string
+	for _, m := range specs {
+		if m == "exact" || m == "" {
+			modes = append(modes, "")
+			continue
+		}
+		if _, err := checkpoint.ParseMode(m); err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
 }
 
 // Job states. queued → running → one of the terminal states; interrupted

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"atr/internal/batch"
+	"atr/internal/checkpoint"
 	"atr/internal/config"
 	"atr/internal/experiments"
 	"atr/internal/obs"
@@ -605,6 +606,15 @@ func (s *Server) runFunc(instr uint64) sweep.RunFunc {
 			return pipeline.Result{}, err
 		}
 		prog := s.runner.Program(u.Profile)
+		if u.Sample != "" {
+			plan, err := checkpoint.ParseMode(u.Sample)
+			if err != nil {
+				return pipeline.Result{}, err
+			}
+			res := checkpoint.Run(u.Config, prog, pipeline.SchedulerEvent, instr, plan).Result
+			s.tm.runsExecuted.Inc()
+			return res, nil
+		}
 		res := pipeline.NewWithScheduler(u.Config, prog, pipeline.SchedulerEvent).Run(instr)
 		s.tm.runsExecuted.Inc()
 		return res, nil
@@ -620,6 +630,11 @@ func (s *Server) batchRunFunc(instr uint64) sweep.BatchRunFunc {
 	return func(ctx context.Context, us []sweep.Unit) ([]pipeline.Result, batch.Perf, error) {
 		cfgs := make([]config.Config, len(us))
 		for i, u := range us {
+			if u.Sample != "" {
+				// The engine never groups sampled units; the error routes a
+				// scheduling bug to the correct per-unit fallback path.
+				return nil, batch.Perf{}, fmt.Errorf("server: sampled unit %s cannot run in a lockstep batch", u.Key)
+			}
 			if err := u.Config.Validate(); err != nil {
 				return nil, batch.Perf{}, err
 			}

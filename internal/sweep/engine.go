@@ -157,6 +157,13 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 		e.shards[i].Worker = i
 	}
 	e.info = obs.SweepInfo{Workers: e.pool.Workers(), Total: len(units), Batch: lanes}
+	if sampled := countSampled(units); sampled > 0 {
+		e.info.Sample = &obs.SampleSweepInfo{
+			Modes:       sampleModes(units),
+			SampledRuns: sampled,
+			ExactRuns:   len(units) - sampled,
+		}
+	}
 	e.journal = e.opts.Journal
 	e.mu.Unlock()
 
@@ -174,6 +181,7 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 		if e.opts.Resume != nil {
 			if r, ok := e.opts.Resume.Records[u.Key]; ok && r.Err == "" {
 				r.Seq, r.Bench, r.Scheme, r.PhysRegs = u.Seq, u.Profile.Name, u.Config.Scheme.String(), u.Config.PhysRegs
+				r.Sample = u.Sample
 				e.finishRun(u, r, -1, true)
 				continue
 			}
@@ -189,6 +197,25 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 	e.info.StartedAt = start.UTC().Format(time.RFC3339Nano)
 	e.mu.Unlock()
 
+	// Sampled units can never join a lockstep group. The sample axis is
+	// innermost in grid order, so left in place the sampled units would
+	// shred every same-profile run of exact units into singleton groups;
+	// a stable partition (exact first, sampled after) restores the
+	// adjacency batching needs without affecting the manifest, which is
+	// merged in Seq order regardless of dispatch order.
+	if lanes > 1 {
+		exact := make([]int, 0, len(pending))
+		var sampledUnits []int
+		for _, i := range pending {
+			if units[i].Sample == "" {
+				exact = append(exact, i)
+			} else {
+				sampledUnits = append(sampledUnits, i)
+			}
+		}
+		pending = append(exact, sampledUnits...)
+	}
+
 	// Group consecutive pending units sharing a profile into lockstep
 	// batches. Grouping is greedy over pending order, which is grid
 	// order, so the profile-major grids — 2 register-file sizes × 4
@@ -198,10 +225,12 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 	var groups [][]int
 	for start := 0; start < len(pending); {
 		end := start + 1
-		if lanes > 1 && e.opts.InjectPanic != units[pending[start]].Seq+1 {
+		if lanes > 1 && e.opts.InjectPanic != units[pending[start]].Seq+1 &&
+			units[pending[start]].Sample == "" {
 			name := units[pending[start]].Profile.Name
 			for end-start < lanes && end < len(pending) &&
 				units[pending[end]].Profile.Name == name &&
+				units[pending[end]].Sample == "" &&
 				e.opts.InjectPanic != units[pending[end]].Seq+1 {
 				end++
 			}
@@ -314,7 +343,7 @@ func (e *Engine) runGroup(ctx context.Context, us []Unit, bf BatchRunFunc, worke
 		rec := Record{
 			Key: u.Key, Seq: u.Seq, Bench: u.Profile.Name,
 			Scheme: u.Config.Scheme.String(), PhysRegs: u.Config.PhysRegs,
-			Attempts: 1, Result: res[i],
+			Sample: u.Sample, Attempts: 1, Result: res[i],
 		}
 		if cb := e.opts.OnRun; cb != nil {
 			cb(u, worker, t0.Add(time.Duration(i)*share), share, "")
@@ -349,6 +378,7 @@ func (e *Engine) runOne(ctx context.Context, u Unit, fn RunFunc) Record {
 	rec := Record{
 		Key: u.Key, Seq: u.Seq, Bench: u.Profile.Name,
 		Scheme: u.Config.Scheme.String(), PhysRegs: u.Config.PhysRegs,
+		Sample: u.Sample,
 	}
 	backoff := e.opts.Backoff
 	for attempt := 1; ; attempt++ {
@@ -443,4 +473,29 @@ func (e *Engine) writeJournal(v any) error {
 	}
 	e.info.JournalFlushes++
 	return nil
+}
+
+// countSampled returns how many units run in sampled mode.
+func countSampled(units []Unit) int {
+	n := 0
+	for _, u := range units {
+		if u.Sample != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// sampleModes returns the distinct non-empty sample modes in first-appearance
+// order.
+func sampleModes(units []Unit) []string {
+	var modes []string
+	seen := make(map[string]bool)
+	for _, u := range units {
+		if u.Sample != "" && !seen[u.Sample] {
+			seen[u.Sample] = true
+			modes = append(modes, u.Sample)
+		}
+	}
+	return modes
 }

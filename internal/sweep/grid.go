@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"atr/internal/batch"
+	"atr/internal/checkpoint"
 	"atr/internal/config"
 	"atr/internal/pipeline"
 	"atr/internal/program"
@@ -26,7 +27,19 @@ func MemoKey(p workload.Profile, cfg config.Config) string {
 // 128-bit hex prefix of SHA-256 over MemoKey. It inherits MemoKey's
 // every-field coverage while keeping journal lines short.
 func Key(p workload.Profile, cfg config.Config) string {
-	sum := sha256.Sum256([]byte(MemoKey(p, cfg)))
+	return KeyWithSample(p, cfg, "")
+}
+
+// KeyWithSample is Key extended with the sampled-execution axis. The sample
+// mode is appended to the identity string only when non-empty, so exact-mode
+// keys are byte-identical to what Key always produced, and a sampled unit
+// can never alias the exact unit for the same (profile, config).
+func KeyWithSample(p workload.Profile, cfg config.Config, sample string) string {
+	mk := MemoKey(p, cfg)
+	if sample != "" {
+		mk += "|sample=" + sample
+	}
+	sum := sha256.Sum256([]byte(mk))
 	return hex.EncodeToString(sum[:16])
 }
 
@@ -36,6 +49,10 @@ type Unit struct {
 	Profile workload.Profile
 	Config  config.Config
 	Key     string
+	// Sample selects sampled execution for this unit: a checkpoint plan in
+	// -sample-mode syntax ("systematic:<period>/<window>/<warmup>"), or ""
+	// for exact full-detail simulation.
+	Sample string
 }
 
 // Grid declares a sweep: the cross product of profiles × register-file
@@ -50,6 +67,12 @@ type Grid struct {
 	Profiles []workload.Profile
 	PhysRegs []int                  // empty: use Base.PhysRegs unchanged
 	Schemes  []config.ReleaseScheme // empty: use Base.Scheme unchanged
+	// SampleModes is the sampled-execution axis: each entry is a
+	// checkpoint plan in -sample-mode syntax, or "" for exact
+	// full-detail simulation. Empty means every unit runs exact — the
+	// grid identity (and every unit key) is then byte-identical to a
+	// grid that predates the axis.
+	SampleModes []string
 }
 
 // Units expands the grid into its runs in deterministic order.
@@ -62,17 +85,24 @@ func (g Grid) Units() []Unit {
 	if len(schemes) == 0 {
 		schemes = []config.ReleaseScheme{g.Base.Scheme}
 	}
-	units := make([]Unit, 0, len(g.Profiles)*len(regs)*len(schemes))
+	modes := g.SampleModes
+	if len(modes) == 0 {
+		modes = []string{""}
+	}
+	units := make([]Unit, 0, len(g.Profiles)*len(regs)*len(schemes)*len(modes))
 	for _, p := range g.Profiles {
 		for _, n := range regs {
 			for _, s := range schemes {
 				cfg := g.Base.WithPhysRegs(n).WithScheme(s)
-				units = append(units, Unit{
-					Seq:     len(units),
-					Profile: p,
-					Config:  cfg,
-					Key:     Key(p, cfg),
-				})
+				for _, sm := range modes {
+					units = append(units, Unit{
+						Seq:     len(units),
+						Profile: p,
+						Config:  cfg,
+						Key:     KeyWithSample(p, cfg, sm),
+						Sample:  sm,
+					})
+				}
 			}
 		}
 	}
@@ -94,7 +124,16 @@ func (g Grid) info() GridInfo {
 	if len(gi.Schemes) == 0 {
 		gi.Schemes = []string{g.Base.Scheme.String()}
 	}
+	for _, m := range g.SampleModes {
+		if m == "" {
+			m = "exact"
+		}
+		gi.SampleModes = append(gi.SampleModes, m)
+	}
 	gi.Total = len(gi.Profiles) * len(gi.PhysRegs) * len(gi.Schemes)
+	if len(gi.SampleModes) > 0 {
+		gi.Total *= len(gi.SampleModes)
+	}
 	return gi
 }
 
@@ -215,11 +254,24 @@ func SimPairScheduler(kind pipeline.SchedulerKind, instr uint64) (RunFunc, Batch
 			return pipeline.Result{}, err
 		}
 		prog := getProg(u.Profile)
+		if u.Sample != "" {
+			plan, err := checkpoint.ParseMode(u.Sample)
+			if err != nil {
+				return pipeline.Result{}, err
+			}
+			return checkpoint.Run(u.Config, prog, kind, instr, plan).Result, nil
+		}
 		return pipeline.NewWithScheduler(u.Config, prog, kind).Run(instr), nil
 	}
 	runBatch := func(ctx context.Context, us []Unit) ([]pipeline.Result, batch.Perf, error) {
 		cfgs := make([]config.Config, len(us))
 		for i, u := range us {
+			if u.Sample != "" {
+				// The engine never groups sampled units; reaching here is a
+				// scheduling bug, and falling back to per-unit execution
+				// (which this error triggers) keeps the sweep correct.
+				return nil, batch.Perf{}, fmt.Errorf("sweep: sampled unit %s cannot run in a lockstep batch", u.Key)
+			}
 			if u.Profile.Name != us[0].Profile.Name {
 				return nil, batch.Perf{}, fmt.Errorf("sweep: batch mixes profiles %q and %q", us[0].Profile.Name, u.Profile.Name)
 			}

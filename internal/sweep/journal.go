@@ -30,6 +30,7 @@ type Record struct {
 	Bench    string          `json:"bench"`
 	Scheme   string          `json:"scheme"`
 	PhysRegs int             `json:"phys_regs"`
+	Sample   string          `json:"sample,omitempty"` // sampling plan; "" = exact
 	Attempts int             `json:"attempts"`
 	Err      string          `json:"error,omitempty"`
 	Result   pipeline.Result `json:"result"`
@@ -109,7 +110,11 @@ type GridInfo struct {
 	Profiles []string `json:"profiles"`
 	PhysRegs []int    `json:"phys_regs"`
 	Schemes  []string `json:"schemes"`
-	Total    int      `json:"total"`
+	// SampleModes is the sampled-execution axis ("exact" plus sampling
+	// plans); omitted for exact-only grids, whose manifests are
+	// byte-identical to pre-axis ones.
+	SampleModes []string `json:"sample_modes,omitempty"`
+	Total       int      `json:"total"`
 }
 
 // Totals aggregates the deterministic outcome counts of a sweep.
