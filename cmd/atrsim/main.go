@@ -24,9 +24,10 @@
 // spaced windows (keeping predictor and cache state warm), the detailed
 // pipeline runs only inside the windows, and every reported statistic is an
 // extrapolated estimate with 95% confidence error bars. Sampled execution
-// is incompatible with -batch > 1 and with the per-CPU observers
-// (-trace/-o3view/-sample/-samples); combining them is a usage error
-// (exit 2).
+// is incompatible with -batch > 1, with the per-CPU observers
+// (-trace/-o3view/-sample/-samples), and with litmus profiles (whose single
+// architected outcome cannot be extrapolated); combining them is a usage
+// error (exit 2).
 package main
 
 import (
@@ -71,6 +72,9 @@ func main() {
 	if *list {
 		for _, p := range workload.Profiles() {
 			fmt.Printf("%-12s %s\n", p.Name, p.Class)
+		}
+		for _, p := range workload.LitmusProfiles() {
+			fmt.Printf("%-28s %s\n", p.Name, p.Class)
 		}
 		return
 	}
@@ -121,6 +125,10 @@ func main() {
 		}
 		if *tracePath != "" || *o3Path != "" || *sample > 0 {
 			fmt.Fprintln(os.Stderr, "atrsim: -sample-mode is incompatible with -trace/-o3view/-sample (observers watch a single detailed pipeline; a sampled run has many short-lived ones)")
+			os.Exit(2)
+		}
+		if p.Litmus != "" {
+			fmt.Fprintln(os.Stderr, "atrsim: -sample-mode is incompatible with litmus profiles (a litmus probe checks one architected outcome against the memory-model oracle; extrapolating statistics from sampled windows is meaningless for it)")
 			os.Exit(2)
 		}
 	}

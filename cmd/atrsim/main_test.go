@@ -58,6 +58,11 @@ func TestSampleModeFlagConflicts(t *testing.T) {
 			want: "sample",
 		},
 		{
+			name: "litmus",
+			args: []string{"-bench", "litmus-sb#0", "-sample-mode", "systematic:10000/2000/500"},
+			want: "-sample-mode is incompatible with litmus",
+		},
+		{
 			name: "zero-window",
 			args: []string{"-sample-mode", "systematic:10000/0/500"},
 			want: "window",
@@ -96,6 +101,38 @@ func TestSampleModeRuns(t *testing.T) {
 	for _, want := range []string{"sampled", "systematic:10000/2000/500", "error bars"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLitmusProfileRuns smoke-tests a litmus profile end to end through the
+// CLI: an exact run of a memory-ordering probe must succeed and report the
+// litmus class in the benchmark line.
+func TestLitmusProfileRuns(t *testing.T) {
+	bin := buildAtrsim(t)
+	cmd := exec.Command(bin, "-bench", "litmus-sb#0", "-n", "1000")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("litmus run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"litmus-sb#0", "(litmus)", "committed"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestListIncludesLitmus verifies -list advertises the litmus family next to
+// the benchmark profiles, so the probes are discoverable from the CLI.
+func TestListIncludesLitmus(t *testing.T) {
+	bin := buildAtrsim(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"gcc", "litmus-sb#0", "litmus-mp#0", "litmus"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
 		}
 	}
 }

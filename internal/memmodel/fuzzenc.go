@@ -1,0 +1,100 @@
+package memmodel
+
+// Fuzz wire format: one uint64 per thread, decoded byte-by-byte so that any
+// fuzzer-mutated value is a valid thread (total functions — no rejection means
+// no wasted executions). Byte layout, little-end first:
+//
+//	bits 56..63  op count, taken mod (MaxOpsPerThread+1)
+//	byte i (i < count) encodes op i:
+//	  bits 0..1  kind: 0 load, 1/2 store, 3 fence
+//	  bits 2..3  address index
+//	  bits 4..5  q: low register bits (load) or value-1 (store)
+//	  load:  bit 6 high register bit, bit 7 SlowAddr
+//	  store: bit 6 SlowAddr, bit 7 SlowData
+//
+// All shapes in Shapes() stay inside this encoding (addrs <= 3, store values
+// 1..4, registers 0..7, <= 6 ops), so every litmus shape has an exact seed.
+
+// DecodeFuzzThread decodes one thread from its fuzz word.
+func DecodeFuzzThread(x uint64) Thread {
+	count := int(x>>56) % (MaxOpsPerThread + 1)
+	th := make(Thread, 0, count)
+	for i := 0; i < count; i++ {
+		b := uint8(x >> (8 * i))
+		addr := int(b>>2) & 3
+		q := int(b>>4) & 3
+		switch b & 3 {
+		case 0:
+			op := Ld(addr, q|int(b>>6&1)<<2)
+			op.SlowAddr = b>>7 != 0
+			th = append(th, op)
+		case 1, 2:
+			op := St(addr, uint64(q)+1)
+			op.SlowAddr = b>>6&1 != 0
+			op.SlowData = b>>7 != 0
+			th = append(th, op)
+		case 3:
+			th = append(th, Fence())
+		}
+	}
+	return th
+}
+
+// DecodeFuzzProgram decodes a two-thread fuzz input. A zero op count drops
+// that thread; two empty threads yield a program that fails Validate.
+func DecodeFuzzProgram(ops0, ops1 uint64) Program {
+	var p Program
+	for _, th := range []Thread{DecodeFuzzThread(ops0), DecodeFuzzThread(ops1)} {
+		if len(th) > 0 {
+			p.Threads = append(p.Threads, th)
+		}
+	}
+	return p
+}
+
+// EncodeFuzzThread is the inverse of DecodeFuzzThread for threads that fit
+// the wire format (used to derive the seed corpus from Shapes()). It panics
+// on unencodable threads — seeds are built from the static registry, so a
+// panic is a registry bug.
+func EncodeFuzzThread(th Thread) uint64 {
+	if len(th) > MaxOpsPerThread {
+		panic("memmodel: thread too long to encode")
+	}
+	x := uint64(len(th)) << 56
+	for i, op := range th {
+		var b uint8
+		switch op.Kind {
+		case KindLoad:
+			if op.Reg > 7 {
+				panic("memmodel: register unencodable")
+			}
+			b = uint8(op.Reg&3) << 4
+			b |= uint8(op.Reg>>2) << 6
+			if op.SlowAddr {
+				b |= 1 << 7
+			}
+		case KindStore:
+			if op.Val < 1 || op.Val > 4 {
+				panic("memmodel: store value unencodable")
+			}
+			b = 1
+			b |= uint8(op.Val-1) << 4
+			if op.SlowAddr {
+				b |= 1 << 6
+			}
+			if op.SlowData {
+				b |= 1 << 7
+			}
+		case KindFence:
+			b = 3
+		}
+		if op.Kind != KindFence {
+			if op.Addr > 3 {
+				panic("memmodel: address unencodable")
+			}
+			b |= uint8(op.Addr) << 2
+		}
+		x |= uint64(b) << (8 * i)
+	}
+	return x
+}

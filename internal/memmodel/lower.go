@@ -1,0 +1,237 @@
+package memmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atr/internal/isa"
+	"atr/internal/program"
+)
+
+// Lowering: a chosen interleaving of a litmus program becomes a straight-line
+// single-core program over the micro-ISA. Precise addressing is the load-
+// bearing trick — a memory op with Span <= 8 has EA == Target no matter what
+// the address register holds (program.EffAddr) — so every access targets its
+// litmus address exactly, while the address *register* still gates issue:
+// routing it through a long-latency Div (SlowAddr) delays the STA or the load
+// without perturbing the address. Likewise Div(d, z, z, V) with z == 0
+// produces exactly V after the divide latency (SlowData), so store values are
+// architecturally deterministic but late. Fences lower to Nop: a single core
+// is sequentially consistent over its own accesses, so the fence constrains
+// only the oracle's TSO enumeration, not the lowered execution.
+//
+// Register conventions (disjoint from the observation registers):
+//
+//	R0..R7   observation registers (litmus Reg 0..7)
+//	R8       store-value materialization
+//	R9       architectural zero (set once, first instruction)
+//	R10      slow store data (Div result)
+//	R11      slow address (Div result, always zero)
+//	R12      commit-blocker chain
+const (
+	regObsBase  = isa.R0
+	regVal      = isa.R8
+	regZero     = isa.R9
+	regSlowData = isa.R10
+	regSlowAddr = isa.R11
+	regBlocker  = isa.R12
+)
+
+// Base is the litmus data region: MaxAddrs adjacent 8-byte words inside one
+// 64-byte cache line, so "partial overlap" variants (adjacent words) share a
+// line but never an address — the sharpest probe for over-wide forwarding
+// matches.
+const Base = 0x20_0000
+
+// AddrOf returns the lowered effective address of litmus address index i.
+func AddrOf(i int) uint64 { return Base + 8*uint64(i) }
+
+// Lowered is a single-core program produced from one interleaving, plus the
+// metadata to extract and judge its outcome.
+type Lowered struct {
+	Prog *program.Program
+	// Expected is the SC outcome of exactly this interleaving — what a
+	// correct pipeline must produce, not merely some legal outcome.
+	Expected Outcome
+	// Seq is the thread-index sequence this lowering realizes.
+	Seq []int
+
+	loadReg   map[uint64]int // lowered PC of a load  -> observation register
+	storeAddr map[uint64]int // lowered PC of a store -> litmus address index
+}
+
+// LowerInterleaving lowers the interleaving seq of p. Every used address is
+// first zeroed (memory defaults to seeded garbage), then the operations are
+// emitted in seq order. withBlocker prepends a dependent long-latency chain
+// that stalls in-order commit, keeping the body's stores in the store queue
+// while its loads execute — the window where forwarding, not memory, must
+// supply values.
+func LowerInterleaving(p Program, seq []int, withBlocker bool) (*Lowered, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := program.NewBuilder(0x11, 0x22)
+	l := &Lowered{
+		Seq:       append([]int(nil), seq...),
+		loadReg:   make(map[uint64]int),
+		storeAddr: make(map[uint64]int),
+	}
+	b.ALU(regZero, isa.RegInvalid, isa.RegInvalid, 0)
+	if withBlocker {
+		// Two dependent divides at the ROB head: ~2 divide latencies during
+		// which nothing younger can commit (commit is in-order), so every
+		// body store stays queued while body loads issue around them.
+		b.Div(regBlocker, regZero, regZero, 1)
+		b.Div(regBlocker, regBlocker, regZero, 1)
+	}
+	addrs := 0
+	for _, th := range p.Threads {
+		for _, op := range th {
+			if op.Addr >= addrs {
+				addrs = op.Addr + 1
+			}
+		}
+	}
+	for i := 0; i < addrs; i++ {
+		l.storeAddr[b.PC()] = i
+		b.Store(regZero, regZero, AddrOf(i), 0, 0)
+	}
+	var pc [MaxThreads]int
+	for _, t := range seq {
+		if t < 0 || t >= len(p.Threads) || pc[t] >= len(p.Threads[t]) {
+			return nil, fmt.Errorf("memmodel: invalid interleaving %v for %d-thread program", seq, len(p.Threads))
+		}
+		op := p.Threads[t][pc[t]]
+		pc[t]++
+		emitOp(b, l, op)
+	}
+	for t, th := range p.Threads {
+		if pc[t] != len(th) {
+			return nil, fmt.Errorf("memmodel: interleaving %v does not cover thread %d", seq, t)
+		}
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	l.Prog = prog
+	l.Expected = p.RunInterleaving(seq)
+	return l, nil
+}
+
+func emitOp(b *program.Builder, l *Lowered, op Op) {
+	addrReg := regZero
+	if op.SlowAddr {
+		// R11 = 0/(0|1) + 0 = 0, one divide latency late. The EA ignores
+		// it; issue does not.
+		b.Div(regSlowAddr, regZero, regZero, 0)
+		addrReg = regSlowAddr
+	}
+	switch op.Kind {
+	case KindLoad:
+		l.loadReg[b.PC()] = op.Reg
+		b.Load(regObsBase+isa.Reg(op.Reg), addrReg, AddrOf(op.Addr), 0, 0)
+	case KindStore:
+		valReg := regVal
+		if op.SlowData {
+			// R10 = 0/(0|1) + Val = Val, one divide latency late: the STA
+			// half issues immediately, the data is captured late.
+			b.Div(regSlowData, regZero, regZero, int64(op.Val))
+			valReg = regSlowData
+		} else {
+			b.ALU(regVal, isa.RegInvalid, isa.RegInvalid, int64(op.Val))
+		}
+		l.storeAddr[b.PC()] = op.Addr
+		b.Store(addrReg, valReg, AddrOf(op.Addr), 0, 0)
+	case KindFence:
+		b.Nop()
+	}
+}
+
+// Checker incrementally reconstructs a Lowered run's outcome from its
+// committed records (pipeline OnCommit or emulator Step). It is independent
+// of the functional emulator: it keys on the lowered PCs and replays only
+// the observable effects, so a pipeline that commits a wrong load value or
+// store value produces a visibly wrong Outcome even if its stream is
+// internally consistent.
+type Checker struct {
+	l   *Lowered
+	out Outcome
+	err error
+}
+
+// Checker returns a fresh outcome checker for this lowering.
+func (l *Lowered) Checker() *Checker { return &Checker{l: l} }
+
+// Record consumes one committed record.
+func (c *Checker) Record(r program.Record) {
+	if reg, ok := c.l.loadReg[r.PC]; ok {
+		if r.Op != isa.OpLoad {
+			c.fail("pc %d: expected a load, committed %v", r.PC, r.Op)
+			return
+		}
+		if want := c.l.Prog.At(r.PC).Target; want != r.EA {
+			c.fail("pc %d: load EA %#x, want %#x", r.PC, r.EA, want)
+			return
+		}
+		c.out.Regs[reg] = r.DstVals[0]
+		return
+	}
+	if ai, ok := c.l.storeAddr[r.PC]; ok {
+		if r.Op != isa.OpStore {
+			c.fail("pc %d: expected a store, committed %v", r.PC, r.Op)
+			return
+		}
+		if want := AddrOf(ai); want != r.EA {
+			c.fail("pc %d: store EA %#x, want %#x", r.PC, r.EA, want)
+			return
+		}
+		c.out.Mem[ai] = r.StoreVal
+	}
+}
+
+func (c *Checker) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Outcome returns the reconstructed final state.
+func (c *Checker) Outcome() Outcome { return c.out }
+
+// Err returns the first structural violation observed (wrong op kind or EA
+// at a mapped PC), or nil.
+func (c *Checker) Err() error { return c.err }
+
+// ParseSpec splits a litmus spec "name" or "name#N" into the shape name and
+// interleaving index.
+func ParseSpec(spec string) (name string, n int, err error) {
+	name, idx, found := strings.Cut(spec, "#")
+	if !found {
+		return name, 0, nil
+	}
+	n, err = strconv.Atoi(idx)
+	if err != nil || n < 0 {
+		return "", 0, fmt.Errorf("memmodel: bad interleaving index in spec %q", spec)
+	}
+	return name, n, nil
+}
+
+// ProgramFor resolves a litmus spec ("sb", "mp#3", ...) to its lowered
+// single-core program: shape name plus optional interleaving index.
+func ProgramFor(spec string) (*Lowered, error) {
+	name, n, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	sh, ok := ShapeByName(name)
+	if !ok {
+		return nil, fmt.Errorf("memmodel: unknown litmus shape %q", name)
+	}
+	cnt := sh.Prog.InterleavingCount()
+	if n >= cnt {
+		return nil, fmt.Errorf("memmodel: shape %q has %d interleavings, index %d out of range", name, cnt, n)
+	}
+	return LowerInterleaving(sh.Prog, sh.Prog.Interleaving(n), sh.Blocker)
+}

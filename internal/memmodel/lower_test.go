@@ -1,0 +1,72 @@
+package memmodel
+
+import (
+	"testing"
+
+	"atr/internal/program"
+)
+
+// TestLoweringMatchesOracle is the package-internal half of the differential
+// argument: for every shape and every interleaving, the lowered straight-line
+// program executed by the functional emulator reconstructs (via Checker)
+// exactly the interleaving's SC outcome, and that outcome is in the SC set.
+// The pipeline half (pipeline == emulator on these programs) lives in
+// internal/pipeline's litmus battery.
+func TestLoweringMatchesOracle(t *testing.T) {
+	for _, sh := range Shapes() {
+		sh := sh
+		t.Run(sh.Name, func(t *testing.T) {
+			sc := sh.Prog.SCOutcomes()
+			union := OutcomeSet{}
+			cnt := sh.Prog.InterleavingCount()
+			for n := 0; n < cnt; n++ {
+				l, err := LowerInterleaving(sh.Prog, sh.Prog.Interleaving(n), sh.Blocker)
+				if err != nil {
+					t.Fatalf("interleaving %d: %v", n, err)
+				}
+				ck := l.Checker()
+				emu := program.NewEmulator(l.Prog)
+				for i := 0; i < 10_000; i++ {
+					rec, ok := emu.Step()
+					if !ok {
+						break
+					}
+					ck.Record(rec)
+				}
+				if err := ck.Err(); err != nil {
+					t.Fatalf("interleaving %d: checker: %v", n, err)
+				}
+				got := ck.Outcome()
+				if got != l.Expected {
+					t.Fatalf("interleaving %d: emulated outcome %v, want %v", n, got, l.Expected)
+				}
+				if !sc.Contains(got) {
+					t.Fatalf("interleaving %d: outcome %v not in SC set", n, got)
+				}
+				union.Add(got)
+			}
+			if !union.Equal(sc) {
+				t.Errorf("union over %d lowered interleavings (%d outcomes) != SC set (%d outcomes)",
+					cnt, len(union), len(sc))
+			}
+		})
+	}
+}
+
+// TestLoweringRejectsBadInterleavings exercises the error paths.
+func TestLoweringRejectsBadInterleavings(t *testing.T) {
+	sb := Program{Threads: []Thread{
+		{St(0, 1), Ld(1, 0)},
+		{St(1, 1), Ld(0, 1)},
+	}}
+	for _, seq := range [][]int{
+		{0, 0, 0, 0},    // overruns thread 0
+		{0, 0, 1, 2},    // thread index out of range
+		{0, 0, 1},       // does not cover thread 1
+		{0, 0, 1, 1, 1}, // overruns thread 1
+	} {
+		if _, err := LowerInterleaving(sb, seq, false); err == nil {
+			t.Errorf("LowerInterleaving accepted bad sequence %v", seq)
+		}
+	}
+}

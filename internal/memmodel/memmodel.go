@@ -1,0 +1,338 @@
+// Package memmodel is an executable memory-consistency oracle for the
+// pipeline's load-store queue. It defines bounded multi-threaded litmus
+// programs (loads, stores, and fences over a few addresses) and enumerates
+// their complete sets of legal final states under two operational models:
+//
+//   - SC: sequential consistency, modeled as instantaneous instruction
+//     execution — a DFS over all interleavings of the threads' program
+//     orders against a single memory.
+//   - TSO: total store order, modeled as SC plus one FIFO store buffer per
+//     thread with nondeterministic drain. Loads forward from the youngest
+//     matching entry of their own buffer; fences execute only when the own
+//     buffer is empty.
+//
+// The simulator under test is a single core, so a litmus program reaches it
+// through a chosen interleaving: the thread-index sequence is lowered to a
+// straight-line single-core program (lower.go) whose committed outcome must
+// equal that interleaving's SC result exactly, and the union of outcomes
+// over all interleavings must equal the SC set. Any LSQ defect — forwarding
+// from the wrong store, reading a store's data before capture, ignoring an
+// unresolved older address — breaks the per-interleaving exactness and is
+// caught by comparing against this oracle.
+package memmodel
+
+import "fmt"
+
+// Bounds on litmus programs. They keep enumeration state fixed-size (and
+// therefore memoizable with comparable keys); ValidateProgram enforces them.
+const (
+	MaxThreads      = 3
+	MaxOpsPerThread = 6
+	MaxAddrs        = 4
+	MaxRegs         = 8
+)
+
+// Kind discriminates litmus operations.
+type Kind int
+
+const (
+	KindLoad  Kind = iota // read an address into an observation register
+	KindStore             // write a constant value to an address
+	KindFence             // full fence: drains the own store buffer (TSO)
+)
+
+// Op is one litmus operation. SlowAddr and SlowData are lowering hints only
+// (they stretch the single-core timing via long-latency producers to open
+// forwarding windows); the oracle ignores them — legality never depends on
+// timing.
+type Op struct {
+	Kind Kind
+	Addr int    // address index, 0..MaxAddrs-1
+	Val  uint64 // stored value (stores)
+	Reg  int    // observation register index, 0..MaxRegs-1 (loads)
+
+	SlowAddr bool // delay the address register via a long-latency producer
+	SlowData bool // delay the store data via a long-latency producer (stores)
+}
+
+// Ld returns a load of addr into observation register reg.
+func Ld(addr, reg int) Op { return Op{Kind: KindLoad, Addr: addr, Reg: reg} }
+
+// St returns a store of val to addr.
+func St(addr int, val uint64) Op { return Op{Kind: KindStore, Addr: addr, Val: val} }
+
+// Fence returns a full fence.
+func Fence() Op { return Op{Kind: KindFence} }
+
+// Thread is one thread's program order.
+type Thread []Op
+
+// Program is a bounded multi-threaded litmus program. Memory and observation
+// registers start at zero (the lowering emits explicit zeroing stores so the
+// single-core run observes the same initial state).
+type Program struct {
+	Threads []Thread
+}
+
+// Validate checks the program against the enumeration bounds.
+func (p Program) Validate() error {
+	if len(p.Threads) == 0 || len(p.Threads) > MaxThreads {
+		return fmt.Errorf("memmodel: %d threads, want 1..%d", len(p.Threads), MaxThreads)
+	}
+	for t, th := range p.Threads {
+		if len(th) > MaxOpsPerThread {
+			return fmt.Errorf("memmodel: thread %d has %d ops, max %d", t, len(th), MaxOpsPerThread)
+		}
+		for i, op := range th {
+			if op.Addr < 0 || op.Addr >= MaxAddrs {
+				return fmt.Errorf("memmodel: thread %d op %d: addr %d out of range", t, i, op.Addr)
+			}
+			if op.Kind == KindLoad && (op.Reg < 0 || op.Reg >= MaxRegs) {
+				return fmt.Errorf("memmodel: thread %d op %d: reg %d out of range", t, i, op.Reg)
+			}
+		}
+	}
+	return nil
+}
+
+// Outcome is one observable final state: the value each observation register
+// ended with (zero if never loaded into) and the final memory contents.
+// It is a comparable value, usable directly as a map key.
+type Outcome struct {
+	Regs [MaxRegs]uint64
+	Mem  [MaxAddrs]uint64
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("regs=%v mem=%v", o.Regs, o.Mem)
+}
+
+// OutcomeSet is a set of outcomes.
+type OutcomeSet map[Outcome]struct{}
+
+// Add inserts o.
+func (s OutcomeSet) Add(o Outcome) { s[o] = struct{}{} }
+
+// Contains reports whether o is in the set.
+func (s OutcomeSet) Contains(o Outcome) bool {
+	_, ok := s[o]
+	return ok
+}
+
+// Subset reports whether every outcome in s is also in t.
+func (s OutcomeSet) Subset(t OutcomeSet) bool {
+	for o := range s {
+		if !t.Contains(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t hold exactly the same outcomes.
+func (s OutcomeSet) Equal(t OutcomeSet) bool {
+	return len(s) == len(t) && s.Subset(t)
+}
+
+// applySC executes op instantly against out (the SC transition relation; a
+// fence is a no-op because there is nothing buffered).
+func applySC(out *Outcome, op Op) {
+	switch op.Kind {
+	case KindLoad:
+		out.Regs[op.Reg] = out.Mem[op.Addr]
+	case KindStore:
+		out.Mem[op.Addr] = op.Val
+	}
+}
+
+// scState is one node of the SC interleaving search.
+type scState struct {
+	pc  [MaxThreads]int8
+	out Outcome
+}
+
+// SCOutcomes enumerates the complete set of final states legal under
+// sequential consistency: every interleaving of the threads' program orders,
+// each instruction executing instantaneously against the single memory.
+func (p Program) SCOutcomes() OutcomeSet {
+	set := OutcomeSet{}
+	seen := map[scState]struct{}{}
+	var rec func(st scState)
+	rec = func(st scState) {
+		if _, dup := seen[st]; dup {
+			return
+		}
+		seen[st] = struct{}{}
+		done := true
+		for t := range p.Threads {
+			i := int(st.pc[t])
+			if i >= len(p.Threads[t]) {
+				continue
+			}
+			done = false
+			ns := st
+			ns.pc[t]++
+			applySC(&ns.out, p.Threads[t][i])
+			rec(ns)
+		}
+		if done {
+			set.Add(st.out)
+		}
+	}
+	rec(scState{})
+	return set
+}
+
+// sbEntry is one store-buffer slot.
+type sbEntry struct {
+	addr int8
+	val  uint64
+}
+
+// tsoState is one node of the TSO search: per-thread program counters, one
+// bounded FIFO store buffer per thread, and the observable state so far.
+type tsoState struct {
+	pc   [MaxThreads]int8
+	blen [MaxThreads]int8
+	buf  [MaxThreads][MaxOpsPerThread]sbEntry
+	out  Outcome
+}
+
+// TSOOutcomes enumerates the complete set of final states legal under total
+// store order: stores enter the issuing thread's FIFO buffer and drain to
+// memory at nondeterministic times, loads forward from the youngest matching
+// entry of their own buffer before reading memory, and fences execute only
+// once the own buffer is empty. A final state requires all threads done and
+// all buffers drained. The SC set is always a subset of this set.
+func (p Program) TSOOutcomes() OutcomeSet {
+	set := OutcomeSet{}
+	seen := map[tsoState]struct{}{}
+	var rec func(st tsoState)
+	rec = func(st tsoState) {
+		if _, dup := seen[st]; dup {
+			return
+		}
+		seen[st] = struct{}{}
+		done := true
+		for t := range p.Threads {
+			// Nondeterministic drain of the oldest buffered store.
+			if st.blen[t] > 0 {
+				done = false
+				ns := st
+				e := ns.buf[t][0]
+				copy(ns.buf[t][:], ns.buf[t][1:ns.blen[t]])
+				ns.blen[t]--
+				ns.buf[t][ns.blen[t]] = sbEntry{}
+				ns.out.Mem[e.addr] = e.val
+				rec(ns)
+			}
+			i := int(st.pc[t])
+			if i >= len(p.Threads[t]) {
+				continue
+			}
+			done = false
+			op := p.Threads[t][i]
+			ns := st
+			ns.pc[t]++
+			switch op.Kind {
+			case KindStore:
+				ns.buf[t][ns.blen[t]] = sbEntry{addr: int8(op.Addr), val: op.Val}
+				ns.blen[t]++
+			case KindLoad:
+				v, fwd := uint64(0), false
+				for j := int(st.blen[t]) - 1; j >= 0; j-- {
+					if int(st.buf[t][j].addr) == op.Addr {
+						v, fwd = st.buf[t][j].val, true
+						break
+					}
+				}
+				if !fwd {
+					v = st.out.Mem[op.Addr]
+				}
+				ns.out.Regs[op.Reg] = v
+			case KindFence:
+				if st.blen[t] > 0 {
+					continue // not executable until the buffer drains
+				}
+			}
+			rec(ns)
+		}
+		if done {
+			set.Add(st.out)
+		}
+	}
+	rec(tsoState{})
+	return set
+}
+
+// InterleavingCount returns the number of distinct interleavings of the
+// threads' program orders (the multinomial coefficient).
+func (p Program) InterleavingCount() int {
+	n, c := 0, 1
+	for _, th := range p.Threads {
+		for k := 1; k <= len(th); k++ {
+			n++
+			c = c * n / k // binomial(n, k) accumulated: always divides evenly
+		}
+	}
+	return c
+}
+
+// Interleaving returns the nth interleaving (0-based, lexicographic by
+// thread index) as a thread-index sequence of length equal to the total op
+// count. It panics when n is out of range.
+func (p Program) Interleaving(n int) []int {
+	rem := make([]int, len(p.Threads))
+	total := 0
+	for t, th := range p.Threads {
+		rem[t] = len(th)
+		total += len(th)
+	}
+	if n < 0 || n >= p.InterleavingCount() {
+		panic(fmt.Sprintf("memmodel: interleaving %d out of range [0,%d)", n, p.InterleavingCount()))
+	}
+	seq := make([]int, 0, total)
+	for len(seq) < total {
+		for t := range rem {
+			if rem[t] == 0 {
+				continue
+			}
+			rem[t]--
+			c := interleavings(rem)
+			if n < c {
+				seq = append(seq, t)
+				break
+			}
+			n -= c
+			rem[t]++
+		}
+	}
+	return seq
+}
+
+// interleavings counts the interleavings of the given remaining op counts.
+func interleavings(rem []int) int {
+	n, c := 0, 1
+	for _, r := range rem {
+		for k := 1; k <= r; k++ {
+			n++
+			c = c * n / k
+		}
+	}
+	return c
+}
+
+// RunInterleaving executes the program's operations in the order given by
+// the thread-index sequence under SC semantics and returns the final state.
+// This is exactly the outcome a correct single core must produce for the
+// lowering of seq, because a single core executing the lowered straight-line
+// program in program order is sequentially consistent by construction.
+func (p Program) RunInterleaving(seq []int) Outcome {
+	var pc [MaxThreads]int
+	var out Outcome
+	for _, t := range seq {
+		applySC(&out, p.Threads[t][pc[t]])
+		pc[t]++
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package memmodel
+
+// Shape is one named litmus family member: a litmus program plus lowering
+// options and the canonical fact it probes.
+type Shape struct {
+	Name string
+	// About documents the classical result (or LSQ property) the shape
+	// encodes; surfaced by documentation and test failure messages.
+	About string
+	Prog  Program
+	// Blocker selects lowering with a leading commit blocker, keeping body
+	// stores queued while body loads execute (forwarding stress shapes).
+	Blocker bool
+}
+
+// Shapes returns the litmus/stress family in registry order. The two-thread
+// classics probe the oracle itself and the interleaving coverage; the
+// single-thread fwd-* shapes aim specific LSQ mechanisms — each one is the
+// designated kill vector for at least one mutation in the pipeline's
+// mutation harness.
+func Shapes() []Shape {
+	return []Shape{
+		{
+			Name:  "mp",
+			About: "message passing: r0=1,r1=0 forbidden under SC and TSO",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), St(1, 1)},
+				{Ld(1, 0), Ld(0, 1)},
+			}},
+		},
+		{
+			Name:  "sb",
+			About: "store buffering: r0=0,r1=0 allowed under TSO, forbidden under SC",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), Ld(1, 0)},
+				{St(1, 1), Ld(0, 1)},
+			}},
+		},
+		{
+			Name:  "sb-fence",
+			About: "store buffering with fences: r0=0,r1=0 forbidden even under TSO",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), Fence(), Ld(1, 0)},
+				{St(1, 1), Fence(), Ld(0, 1)},
+			}},
+		},
+		{
+			Name:  "lb",
+			About: "load buffering: r0=1,r1=1 forbidden under SC and TSO",
+			Prog: Program{Threads: []Thread{
+				{Ld(0, 0), St(1, 1)},
+				{Ld(1, 1), St(0, 1)},
+			}},
+		},
+		{
+			Name:  "corr",
+			About: "coherent read-read: r0=1,r1=0 forbidden (no new-to-old reads of one location)",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1)},
+				{Ld(0, 0), Ld(0, 1)},
+			}},
+		},
+		{
+			Name:  "coww",
+			About: "coherent write-write: program-order same-address stores leave the younger value",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), St(0, 2)},
+				{Ld(0, 0), Ld(0, 1)},
+			}},
+		},
+		{
+			Name:  "corw",
+			About: "coherent read-write: a load never observes the same thread's later store",
+			Prog: Program{Threads: []Thread{
+				{Ld(0, 0), St(0, 1)},
+				{St(0, 2)},
+			}},
+		},
+		{
+			Name:  "fwd-chain",
+			About: "store-forward chain: each load forwards its nearest older same-address store",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), Ld(0, 0), stSlowData(1, 2), Ld(1, 1), St(0, 3), Ld(0, 2)},
+			}},
+			Blocker: true,
+		},
+		{
+			Name:  "fwd-youngest",
+			About: "two queued same-address stores: the load must forward the youngest older one",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), stSlowData(0, 2), Ld(0, 0)},
+			}},
+			Blocker: true,
+		},
+		{
+			Name:  "fwd-slowaddr-store",
+			About: "older store with a late address: the load must wait (ordering), then forward",
+			Prog: Program{Threads: []Thread{
+				{stSlowAddr(0, 3), Ld(0, 0)},
+			}},
+		},
+		{
+			Name:  "fwd-slowaddr-load",
+			About: "late load between two same-address stores: age filtering must exclude the younger",
+			Prog: Program{Threads: []Thread{
+				{St(0, 1), ldSlowAddr(0, 0), St(0, 2), Ld(0, 1)},
+			}},
+			Blocker: true,
+		},
+		{
+			Name:  "fwd-slowdata",
+			About: "forwarding must deliver captured store data, never the pre-capture value",
+			Prog: Program{Threads: []Thread{
+				{stSlowData(0, 4), Ld(0, 0)},
+			}},
+			Blocker: true,
+		},
+		{
+			Name:  "fwd-overlap",
+			About: "adjacent words in one cache line: same-line stores must not forward across addresses",
+			Prog: Program{Threads: []Thread{
+				{stSlowData(0, 1), Ld(1, 0), St(1, 2), Ld(0, 1)},
+			}},
+			Blocker: true,
+		},
+	}
+}
+
+func stSlowData(addr int, val uint64) Op {
+	op := St(addr, val)
+	op.SlowData = true
+	return op
+}
+
+func stSlowAddr(addr int, val uint64) Op {
+	op := St(addr, val)
+	op.SlowAddr = true
+	return op
+}
+
+func ldSlowAddr(addr, reg int) Op {
+	op := Ld(addr, reg)
+	op.SlowAddr = true
+	return op
+}
+
+// ShapeByName looks a shape up in the registry.
+func ShapeByName(name string) (Shape, bool) {
+	for _, s := range Shapes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Shape{}, false
+}

@@ -29,3 +29,24 @@ func TestSchemeArchEquivalence(t *testing.T) {
 		})
 	}
 }
+
+// TestLitmusArchEquivalence extends the battery to the litmus profile
+// family: the short memory-ordering probes must also commit emulator-exact
+// streams under every release scheme — early register release interacting
+// with store-to-load forwarding is exactly the cross-feature surface these
+// shapes stress.
+func TestLitmusArchEquivalence(t *testing.T) {
+	for _, p := range workload.LitmusProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := p.Generate()
+			for _, scheme := range config.Schemes() {
+				scheme := scheme
+				t.Run(scheme.String(), func(t *testing.T) {
+					runAndCompare(t, testConfig().WithScheme(scheme), prog, 2500)
+				})
+			}
+		})
+	}
+}

@@ -67,6 +67,23 @@ func TestSchedulerEquivalence(t *testing.T) {
 	}
 }
 
+// TestSchedulerEquivalenceLitmus extends the bit-identity oracle to the
+// litmus profile family: forwarding stalls, squashed wrong-path stores, and
+// STD capture ordering must be cycle-identical between the event and scan
+// schedulers on the memory-ordering probes, not just statistically similar.
+func TestSchedulerEquivalenceLitmus(t *testing.T) {
+	for _, p := range workload.LitmusProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := p.Generate()
+			for _, scheme := range []config.ReleaseScheme{config.SchemeBaseline, config.SchemeCombined} {
+				compareSchedulers(t, scheme.String(), testConfig().WithScheme(scheme), prog, 2500)
+			}
+		})
+	}
+}
+
 // TestSchedulerEquivalenceInterrupts extends the oracle to asynchronous
 // interrupts: the squash (flush mode) and drain paths must unlink squashed
 // and drained uops from wait lists, ready queues, and the completion wheel

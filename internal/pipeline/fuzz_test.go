@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"atr/internal/config"
+	"atr/internal/memmodel"
 	"atr/internal/workload"
 )
 
@@ -43,5 +44,55 @@ func FuzzSchemeDifferential(f *testing.F) {
 		cfg := config.GoldenCove().WithPhysRegs(physRegs).WithScheme(scheme)
 
 		runAndCompare(t, cfg, prog, 1200)
+	})
+}
+
+// FuzzLSQDifferential is the memory-model differential fuzzer: two fuzz
+// words decode to a bounded two-thread litmus program (every input is valid
+// by construction — see memmodel.DecodeFuzzThread), ileave picks one of its
+// interleavings, and flags pick scheduler, scheme, and lowering options. The
+// lowered single-core program must commit the emulator's exact record
+// stream, reconstruct precisely the chosen interleaving's SC outcome, and
+// that outcome must lie in the oracle's SC (hence TSO) legal set. The seed
+// corpus covers every litmus shape via the exact inverse encoding.
+func FuzzLSQDifferential(f *testing.F) {
+	for i, sh := range memmodel.Shapes() {
+		var w [2]uint64
+		for t, th := range sh.Prog.Threads {
+			w[t] = memmodel.EncodeFuzzThread(th)
+		}
+		blk := uint16(0)
+		if sh.Blocker {
+			blk = 1 << 2
+		}
+		f.Add(w[0], w[1], uint64(i), blk|uint16(i%4)<<3)
+	}
+	f.Fuzz(func(t *testing.T, ops0, ops1, ileave uint64, flags uint16) {
+		p := memmodel.DecodeFuzzProgram(ops0, ops1)
+		if err := p.Validate(); err != nil {
+			t.Skip() // only the two-empty-threads input
+		}
+		seq := p.Interleaving(int(ileave % uint64(p.InterleavingCount())))
+		l, err := memmodel.LowerInterleaving(p, seq, flags&(1<<2) != 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := SchedulerEvent
+		if flags&1 != 0 {
+			kind = SchedulerScan
+		}
+		schemes := config.Schemes()
+		cfg := testConfig().WithScheme(schemes[int(flags>>3)%len(schemes)])
+		if flags&2 != 0 {
+			cfg = cfg.WithPhysRegs(64)
+		}
+		cpu := NewWithScheduler(cfg, l.Prog, kind)
+		got := runLitmus(t, cpu, l)
+		if got != l.Expected {
+			t.Fatalf("outcome %v, want interleaving's SC result %v", got, l.Expected)
+		}
+		if !p.SCOutcomes().Contains(got) {
+			t.Fatalf("outcome %v outside the oracle's SC set", got)
+		}
 	})
 }

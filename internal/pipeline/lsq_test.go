@@ -80,6 +80,269 @@ func TestWrongPathStoresNeverReachMemory(t *testing.T) {
 	}
 }
 
+// runOnBoth runs prog under both schedulers against the emulator and returns
+// the two CPUs for white-box inspection.
+func runOnBoth(t *testing.T, cfg config.Config, prog *program.Program, n uint64) [2]*CPU {
+	t.Helper()
+	var cpus [2]*CPU
+	for i, kind := range []SchedulerKind{SchedulerEvent, SchedulerScan} {
+		emu := program.NewEmulator(prog)
+		cpu := NewWithScheduler(cfg, prog, kind)
+		cpu.OnCommit = func(got program.Record) {
+			want, _ := emu.Step()
+			if got != want {
+				t.Fatalf("sched %d: commit mismatch:\n got %+v\nwant %+v", kind, got, want)
+			}
+		}
+		cpu.Run(n)
+		if err := cpu.Engine.CheckInvariants(); err != nil {
+			t.Fatalf("sched %d: %v", kind, err)
+		}
+		cpus[i] = cpu
+	}
+	return cpus
+}
+
+// commitBlocker emits two dependent divides that stall in-order commit for
+// roughly two divide latencies, keeping subsequent stores queued while
+// younger loads execute — the window where forwarding must supply values.
+func commitBlocker(b *program.Builder, zero isa.Reg) {
+	b.Div(isa.R13, zero, zero, 1)
+	b.Div(isa.R13, isa.R13, zero, 1)
+}
+
+// TestForwardingPartialOverlapWidths: two adjacent 8-byte words in the same
+// 64-byte cache line must never forward to each other — the match is on the
+// exact effective address, not the line. The same-address load in the same
+// window must still forward.
+func TestForwardingPartialOverlapWidths(t *testing.T) {
+	b := program.NewBuilder(7, 8)
+	b.ALU(isa.R9, isa.RegInvalid, isa.RegInvalid, 0)
+	commitBlocker(b, isa.R9)
+	b.Div(isa.R1, isa.R9, isa.R9, 7)        // slow store data
+	b.Store(isa.R9, isa.R1, 0x7000, 0, 0)   // word 0 of the line, data late
+	b.Load(isa.R2, isa.R9, 0x7008, 0, 0)    // word 1: distinct EA, same line
+	b.ALU(isa.R3, isa.RegInvalid, isa.RegInvalid, 5)
+	b.Store(isa.R9, isa.R3, 0x7008, 0, 0)   // word 1 store
+	b.Load(isa.R4, isa.R9, 0x7000, 0, 0)    // word 0: must forward 7
+	b.Load(isa.R5, isa.R9, 0x7008, 0, 0)    // word 1: must forward 5
+	prog := b.MustBuild()
+	for _, cpu := range runOnBoth(t, testConfig(), prog, 100) {
+		// Exactly two loads may forward: the word-0 and word-1 exact
+		// matches. The cross-word load must go to memory — a third forward
+		// would mean the match widened beyond the EA.
+		if fw := cpu.Stats.Get("lsq.forwards"); fw != 2 {
+			t.Errorf("lsq.forwards = %d, want exactly 2 (no cross-word forwarding)", fw)
+		}
+	}
+}
+
+// TestForwardingSameCycleCapture: a store whose data is ready the moment its
+// STA issues (plus the degenerate constant store with no data source) must
+// capture immediately and forward to a back-to-back load.
+func TestForwardingSameCycleCapture(t *testing.T) {
+	b := program.NewBuilder(9, 10)
+	b.ALU(isa.R9, isa.RegInvalid, isa.RegInvalid, 0)
+	commitBlocker(b, isa.R9)
+	b.ALU(isa.R1, isa.RegInvalid, isa.RegInvalid, 42) // data ready long before STA
+	b.Store(isa.R9, isa.R1, 0x8000, 0, 0)
+	b.Load(isa.R2, isa.R9, 0x8000, 0, 0) // issues the cycle after capture
+	b.Store(isa.R9, isa.RegInvalid, 0x8008, 0, 0) // constant store: no STD source
+	b.Load(isa.R3, isa.R9, 0x8008, 0, 0) // must forward the constant zero
+	prog := b.MustBuild()
+	emu := program.NewEmulator(prog)
+	emu.Run(100)
+	if emu.Regs[isa.R2] != 42 || emu.Regs[isa.R3] != 0 {
+		t.Fatalf("oracle sanity: r2=%d r3=%d", emu.Regs[isa.R2], emu.Regs[isa.R3])
+	}
+	for _, cpu := range runOnBoth(t, testConfig(), prog, 100) {
+		if fw := cpu.Stats.Get("lsq.forwards"); fw < 2 {
+			t.Errorf("lsq.forwards = %d, want both loads forwarded", fw)
+		}
+	}
+}
+
+// TestForwardingAcrossSquashBoundary: a wrong-path store enters the store
+// queue and the forwarding structures, then a branch resolves and squashes
+// it. A correct-path load issued after recovery must forward from the older
+// correct-path store, never from the squashed one. The wrong path is reached
+// deterministically: the TAGE base predictor predicts a cold branch taken,
+// and the branch's flag source is a long-latency divide that resolves (not
+// taken) only after the wrong-path store has issued.
+func TestForwardingAcrossSquashBoundary(t *testing.T) {
+	b := program.NewBuilder(11, 12)
+	b.ALU(isa.R9, isa.RegInvalid, isa.RegInvalid, 0)
+	commitBlocker(b, isa.R9) // holds the correct-path store in the SQ
+	b.ALU(isa.R1, isa.RegInvalid, isa.RegInvalid, 1)
+	b.Store(isa.R9, isa.R1, 0x9000, 0, 0) // correct-path store, data ready early
+	b.Div(isa.R5, isa.R9, isa.R9, 0)      // branch flags: 0 => not taken, slow
+	b.BranchReg(isa.R5, 0, "wrong")       // cold-predicted taken, actually not
+	b.Load(isa.R2, isa.R9, 0x9000, 0, 0)  // correct path: must forward 1
+	b.ALU(isa.R4, isa.R2, isa.RegInvalid, 0)
+	b.Jump("end")
+	b.Label("wrong")
+	b.ALU(isa.R3, isa.RegInvalid, isa.RegInvalid, 2)
+	b.Store(isa.R9, isa.R3, 0x9000, 0, 0) // squashed store to the same EA
+	b.Label("end")
+	b.Nop()
+	prog := b.MustBuild()
+	oracle := program.NewEmulator(prog)
+	pathLen := uint64(len(oracle.Run(100))) // wrong-path instructions never commit
+	if oracle.Regs[isa.R2] != 1 {
+		t.Fatalf("oracle sanity: r2=%d, want 1", oracle.Regs[isa.R2])
+	}
+	for _, kind := range []SchedulerKind{SchedulerEvent, SchedulerScan} {
+		emu := program.NewEmulator(prog)
+		cpu := NewWithScheduler(testConfig(), prog, kind)
+		cpu.OnCommit = func(got program.Record) {
+			want, _ := emu.Step()
+			if got != want {
+				t.Fatalf("sched %d: commit mismatch:\n got %+v\nwant %+v", kind, got, want)
+			}
+		}
+		// Step manually to witness both same-EA stores (correct-path and
+		// wrong-path) simultaneously in the SQ — proof the wrong path was
+		// fetched and its store entered the forwarding structures before
+		// the squash.
+		maxSameEA := 0
+		for i := 0; i < 800; i++ {
+			cpu.step()
+			n := 0
+			for _, s := range cpu.sq[cpu.sqHead:] {
+				if s.eaKnown && s.ea == 0x9000 {
+					n++
+				}
+			}
+			if n > maxSameEA {
+				maxSameEA = n
+			}
+		}
+		if err := cpu.Engine.CheckInvariants(); err != nil {
+			t.Fatalf("sched %d: %v", kind, err)
+		}
+		if cpu.committed != pathLen {
+			t.Fatalf("sched %d: committed %d of %d", kind, cpu.committed, pathLen)
+		}
+		if cpu.mispredicts == 0 {
+			t.Errorf("sched %d: branch did not mispredict; wrong path never fetched", kind)
+		}
+		if maxSameEA < 2 {
+			t.Errorf("sched %d: wrong-path store never coexisted with the correct store (max %d)", kind, maxSameEA)
+		}
+		if fw := cpu.Stats.Get("lsq.forwards"); fw == 0 {
+			t.Errorf("sched %d: load did not forward; squash boundary not exercised", kind)
+		}
+	}
+}
+
+// TestSQFullStall: with a tiny store queue, rename must stall stores rather
+// than overflow, occupancy must reach but never exceed the configured size,
+// and the commit stream must stay exact.
+func TestSQFullStall(t *testing.T) {
+	b := program.NewBuilder(13, 14)
+	b.ALU(isa.R9, isa.RegInvalid, isa.RegInvalid, 0)
+	b.Div(isa.R1, isa.R9, isa.R9, 3) // slow data shared by all stores
+	for i := 0; i < 10; i++ {
+		b.Store(isa.R9, isa.R1, 0xA000+uint64(8*i), 0, 0)
+	}
+	b.Load(isa.R2, isa.R9, 0xA000, 0, 0)
+	prog := b.MustBuild()
+	cfg := testConfig()
+	cfg.StoreQueue = 4
+	for _, kind := range []SchedulerKind{SchedulerEvent, SchedulerScan} {
+		emu := program.NewEmulator(prog)
+		cpu := NewWithScheduler(cfg, prog, kind)
+		cpu.OnCommit = func(got program.Record) {
+			want, _ := emu.Step()
+			if got != want {
+				t.Fatalf("sched %d: commit mismatch:\n got %+v\nwant %+v", kind, got, want)
+			}
+		}
+		maxOcc := 0
+		for i := 0; i < 2000; i++ {
+			cpu.step()
+			if cpu.sqCount > maxOcc {
+				maxOcc = cpu.sqCount
+			}
+			if cpu.sqCount > 4 {
+				t.Fatalf("sched %d cycle %d: SQ occupancy %d exceeds size 4", kind, cpu.cycle, cpu.sqCount)
+			}
+		}
+		if maxOcc != 4 {
+			t.Errorf("sched %d: SQ never filled (max occupancy %d); stall path untested", kind, maxOcc)
+		}
+		if cpu.committed != uint64(prog.Len()) {
+			t.Errorf("sched %d: committed %d of %d", kind, cpu.committed, prog.Len())
+		}
+	}
+}
+
+// TestForwardFromYoungestInFlight white-boxes the forwardFrom ordering
+// property on both schedulers: with three same-EA stores simultaneously in
+// flight, a probe must match the youngest store older than itself — for
+// every possible probe age, not just "younger than all".
+func TestForwardFromYoungestInFlight(t *testing.T) {
+	b := program.NewBuilder(15, 16)
+	b.ALU(isa.R9, isa.RegInvalid, isa.RegInvalid, 0)
+	commitBlocker(b, isa.R9)
+	b.ALU(isa.R1, isa.RegInvalid, isa.RegInvalid, 1)
+	b.Store(isa.R9, isa.R1, 0xB000, 0, 0)
+	b.Store(isa.R9, isa.R1, 0xB100, 0, 0) // different EA: must never match
+	b.ALU(isa.R2, isa.RegInvalid, isa.RegInvalid, 2)
+	b.Store(isa.R9, isa.R2, 0xB000, 0, 0)
+	b.ALU(isa.R3, isa.RegInvalid, isa.RegInvalid, 3)
+	b.Store(isa.R9, isa.R3, 0xB000, 0, 0)
+	prog := b.MustBuild()
+	for _, kind := range []SchedulerKind{SchedulerEvent, SchedulerScan} {
+		cpu := NewWithScheduler(testConfig(), prog, kind)
+		// Step until all three same-EA stores are in flight with known
+		// addresses (the cold I-cache miss delays the first fetch by a few
+		// hundred cycles; the commit blocker then holds them queued).
+		var seqs []uint64
+		for i := 0; i < 3000 && len(seqs) < 3; i++ {
+			cpu.step()
+			seqs = seqs[:0]
+			for _, s := range cpu.sq[cpu.sqHead:] {
+				if s.eaKnown && s.ea == 0xB000 {
+					seqs = append(seqs, s.seq)
+				}
+			}
+		}
+		if len(seqs) != 3 {
+			t.Fatalf("sched %d: %d same-EA stores in flight, want 3 (blocker window too short?)", kind, len(seqs))
+		}
+		probes := []struct {
+			seq  uint64
+			want *uop // filled below
+		}{
+			{seq: seqs[0]},          // older than all: no match
+			{seq: seqs[1]},          // between 1st and 2nd: matches 1st
+			{seq: seqs[2]},          // between 2nd and 3rd: matches 2nd
+			{seq: seqs[2] + 1<<40},  // younger than all: matches 3rd
+		}
+		wants := []uint64{0, seqs[0], seqs[1], seqs[2]}
+		for i, pr := range probes {
+			got := cpu.forwardFrom(&uop{seq: pr.seq}, 0xB000)
+			if i == 0 {
+				if got != nil {
+					t.Errorf("sched %d: probe older than all stores matched seq %d", kind, got.seq)
+				}
+				continue
+			}
+			if got == nil || got.seq != wants[i] {
+				gotSeq := uint64(0)
+				if got != nil {
+					gotSeq = got.seq
+				}
+				t.Errorf("sched %d probe %d: forwardFrom matched seq %d, want %d", kind, i, gotSeq, wants[i])
+			}
+		}
+		if got := cpu.forwardFrom(&uop{seq: seqs[2] + 1<<40}, 0xB008); got != nil {
+			t.Errorf("sched %d: unmatched EA forwarded from seq %d", kind, got.seq)
+		}
+	}
+}
+
 func TestROBRing(t *testing.T) {
 	r := newROB(4)
 	if r.len() != 0 || r.full() || r.cap() != 4 {

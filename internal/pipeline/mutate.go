@@ -1,0 +1,61 @@
+package pipeline
+
+// LSQ mutation harness. A verifier that cannot fail a broken LSQ proves
+// nothing, so the test suite deliberately breaks each LSQ invariant behind
+// these unexported, test-only switches and asserts the litmus battery
+// catches every mutant (mutate_test.go). The field is never set outside
+// tests; with mutNone (the zero value) every code path below is bypassed
+// and both schedulers remain bit-identical to their unmutated behavior.
+//
+// The mutations scan the architectural store queue directly rather than the
+// active scheduler's search structures, so a single implementation breaks
+// both the scan and event schedulers identically.
+type lsqMutation int
+
+const (
+	mutNone lsqMutation = iota
+	// mutForwardIgnoreAge drops the st.seq < load.seq age filter: the load
+	// forwards from the youngest matching store overall, even one younger
+	// than itself in program order.
+	mutForwardIgnoreAge
+	// mutForwardOldest returns the oldest matching older store instead of
+	// the youngest — stale data when two same-address stores are in flight.
+	mutForwardOldest
+	// mutForwardWideMatch matches on the 64-byte cache line instead of the
+	// exact effective address — forwards across distinct adjacent words.
+	mutForwardWideMatch
+	// mutSkipOrderingCheck lets loads issue past older stores whose
+	// addresses are still unknown (drops the conservative ordering stall
+	// that stands in for memory-order squash/replay).
+	mutSkipOrderingCheck
+	// mutForwardStaleData drops the wait for STD capture: a forwarding load
+	// reads the store-queue entry's data slot before the producer wrote it.
+	mutForwardStaleData
+)
+
+// mutForwardFrom is the mutated store-queue search used by forwardFrom when
+// a mutation is armed. It walks the live SQ window (fetch order, so "last
+// match wins" is youngest-match semantics) applying the armed defect.
+func (c *CPU) mutForwardFrom(u *uop, ea uint64) *uop {
+	var match *uop
+	for _, s := range c.sq[c.sqHead:] {
+		if c.mut != mutForwardIgnoreAge && s.seq >= u.seq {
+			break
+		}
+		if !s.eaKnown {
+			continue
+		}
+		hit := s.ea == ea
+		if c.mut == mutForwardWideMatch {
+			hit = s.ea&^63 == ea&^63
+		}
+		if !hit {
+			continue
+		}
+		if c.mut == mutForwardOldest && match != nil {
+			continue
+		}
+		match = s
+	}
+	return match
+}

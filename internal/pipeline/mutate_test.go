@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"atr/internal/memmodel"
+	"atr/internal/program"
+)
+
+// litmusMutants enumerates the armed LSQ defects and, for documentation in
+// failure messages, the shape designed as each one's kill vector. Detection
+// may come from any shape; the designed vector just explains the harness.
+var litmusMutants = []struct {
+	mut    lsqMutation
+	name   string
+	vector string
+}{
+	{mutForwardIgnoreAge, "forward-ignore-age", "fwd-slowaddr-load"},
+	{mutForwardOldest, "forward-oldest", "fwd-youngest"},
+	{mutForwardWideMatch, "forward-wide-match", "fwd-overlap"},
+	{mutSkipOrderingCheck, "skip-ordering-check", "fwd-slowaddr-store"},
+	{mutForwardStaleData, "forward-stale-data", "fwd-slowdata"},
+}
+
+// litmusDetects runs the full litmus battery with the given mutation armed
+// and reports the first interleaving on which any differential check trips:
+// commit-stream divergence from the emulator, a structurally invalid record,
+// an incomplete run, a deadlock panic, or a final outcome different from the
+// interleaving's SC result.
+func litmusDetects(mut lsqMutation, kind SchedulerKind) (killer string, detected bool) {
+	for _, sh := range memmodel.Shapes() {
+		cnt := sh.Prog.InterleavingCount()
+		for n := 0; n < cnt; n++ {
+			spec := fmt.Sprintf("%s#%d", sh.Name, n)
+			l, err := memmodel.ProgramFor(spec)
+			if err != nil {
+				panic(err)
+			}
+			if mutantCaughtOn(l, mut, kind) {
+				return spec, true
+			}
+		}
+	}
+	return "", false
+}
+
+func mutantCaughtOn(l *memmodel.Lowered, mut lsqMutation, kind SchedulerKind) (caught bool) {
+	cpu := NewWithScheduler(testConfig(), l.Prog, kind)
+	cpu.mut = mut
+	emu := program.NewEmulator(l.Prog)
+	ck := l.Checker()
+	diverged := false
+	cpu.OnCommit = func(got program.Record) {
+		want, _ := emu.Step()
+		if got != want {
+			diverged = true
+		}
+		ck.Record(got)
+	}
+	// A mutant that wedges the machine (e.g. a stall that never resolves)
+	// trips the deadlock panic in Run — that counts as detection too.
+	defer func() {
+		if recover() != nil {
+			caught = true
+		}
+	}()
+	res := cpu.Run(20000)
+	return diverged ||
+		ck.Err() != nil ||
+		res.Committed != uint64(l.Prog.Len()) ||
+		ck.Outcome() != l.Expected
+}
+
+// TestLitmusKillsAllMutants: every deliberately broken LSQ behavior must be
+// caught by at least one litmus interleaving, under both schedulers. Zero
+// surviving mutants is an acceptance criterion — a battery that cannot fail
+// a broken LSQ verifies nothing.
+func TestLitmusKillsAllMutants(t *testing.T) {
+	for _, m := range litmusMutants {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			for _, kind := range []SchedulerKind{SchedulerEvent, SchedulerScan} {
+				killer, detected := litmusDetects(m.mut, kind)
+				if !detected {
+					t.Errorf("sched %d: mutant %s SURVIVED the full litmus battery (designed vector %s)",
+						kind, m.name, m.vector)
+					continue
+				}
+				t.Logf("sched %d: mutant %s killed by %s", kind, m.name, killer)
+			}
+		})
+	}
+}
+
+// TestLitmusNoFalsePositives: the unmutated pipeline must pass the exact
+// detection predicate the mutants are judged by, so kills cannot come from
+// harness noise.
+func TestLitmusNoFalsePositives(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedulerEvent, SchedulerScan} {
+		if killer, detected := litmusDetects(mutNone, kind); detected {
+			t.Fatalf("sched %d: detection predicate trips on the UNMUTATED pipeline at %s", kind, killer)
+		}
+	}
+}
+
+// TestMutantsChangeBehavior guards against vacuous mutations: each designed
+// kill vector must produce a *different* outcome (or a structural failure)
+// under its mutant than unmutated — i.e. the mutation is live on its vector,
+// not dead code that detection would trivially miss.
+func TestMutantsChangeBehavior(t *testing.T) {
+	for _, m := range litmusMutants {
+		l, err := memmodel.ProgramFor(m.vector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mutantCaughtOn(l, m.mut, SchedulerEvent) {
+			t.Errorf("mutant %s is not even caught by its designed vector %s — wrong vector or dead mutation",
+				m.name, m.vector)
+		}
+	}
+}

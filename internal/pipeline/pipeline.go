@@ -64,6 +64,10 @@ type CPU struct {
 	// reference scheduler.
 	ev *evsched
 
+	// mut arms one deliberately broken LSQ behavior for mutation testing
+	// (mutate.go). Zero (mutNone) outside tests.
+	mut lsqMutation
+
 	// squashBuf is the reusable scratch for squashFrom.
 	squashBuf []*uop
 
@@ -582,12 +586,28 @@ func (c *CPU) srcsReady(u *uop) bool {
 }
 
 // forwardFrom returns the youngest older store matching ea, if any, via
-// the active scheduler's search structure.
+// the active scheduler's search structure (or the mutated search when the
+// test-only mutation harness is armed; see mutate.go).
 func (c *CPU) forwardFrom(u *uop, ea uint64) *uop {
+	if c.mut != mutNone {
+		return c.mutForwardFrom(u, ea)
+	}
 	if c.ev != nil {
 		return c.ev.fwdLookup(ea, u.seq)
 	}
 	return c.scanForwardFrom(u, ea)
+}
+
+// forwardStall returns the forwarding match whose pending store data forces
+// u to stall this cycle, or nil when u may issue. Both schedulers route
+// their pre-issue stall decision through here so the data-readiness rule
+// (and its mutation) lives in exactly one place.
+func (c *CPU) forwardStall(u *uop, ea uint64) *uop {
+	s := c.forwardFrom(u, ea)
+	if s == nil || s.stDataRdy || c.mut == mutForwardStaleData {
+		return nil
+	}
+	return s
 }
 
 // issue schedules u for execution: reads sources (notifying the release

@@ -51,7 +51,7 @@ func (c *CPU) scanIssueStage() {
 			// (and only this load).
 			a := u.ren.Srcs[0]
 			ea := program.EffAddr(u.inst, c.vals[a.Class][a.Tag])
-			if s := c.scanForwardFrom(u, ea); s != nil && !s.stDataRdy {
+			if c.forwardStall(u, ea) != nil {
 				continue
 			}
 		}
@@ -96,6 +96,9 @@ func (c *CPU) scanCaptureStoreData() {
 // once every older in-flight store has computed its address (so forwarding
 // is exact and no memory-order replay machinery is needed).
 func (c *CPU) scanLoadMayIssue(u *uop) bool {
+	if c.mut == mutSkipOrderingCheck {
+		return true
+	}
 	for _, s := range c.sq[c.sqHead:] {
 		if s.seq >= u.seq {
 			break

@@ -499,6 +499,9 @@ func (c *CPU) evCaptureStoreData() {
 // evLoadBlocker returns the oldest unissued store older than u (whose issue
 // u must wait for), or nil when the ordering check passes.
 func (c *CPU) evLoadBlocker(u *uop) *uop {
+	if c.mut == mutSkipOrderingCheck {
+		return nil
+	}
 	if i := c.ev.sqFirst; i < len(c.sq) {
 		if st := c.sq[i]; st.seq < u.seq {
 			return st
@@ -547,7 +550,7 @@ func (c *CPU) evIssueStage() {
 			}
 			a := u.ren.Srcs[0]
 			ea := program.EffAddr(u.inst, c.vals[a.Class][a.Tag])
-			if m := s.fwdLookup(ea, u.seq); m != nil && !m.stDataRdy {
+			if m := c.forwardStall(u, ea); m != nil {
 				m.stallData = append(m.stallData, u.ref())
 				continue
 			}

@@ -196,6 +196,25 @@ func MicroGrid(instr uint64) Grid {
 	}
 }
 
+// LitmusGrid is the memory-ordering stress grid: every litmus profile
+// (selected interleavings of each shape) at two register-file sizes under
+// every release scheme. Litmus programs are short straight-line probes, so
+// the instruction budget is small and the grid never carries a sampled axis
+// (atrsim and the CLI reject that combination).
+func LitmusGrid(instr uint64) Grid {
+	if instr == 0 {
+		instr = 1000
+	}
+	return Grid{
+		Name:     "litmus",
+		Instr:    instr,
+		Base:     config.GoldenCove(),
+		Profiles: workload.LitmusProfiles(),
+		PhysRegs: []int{64, 96},
+		Schemes:  config.Schemes(),
+	}
+}
+
 // GridByName resolves a named grid preset.
 func GridByName(name string, instr uint64) (Grid, error) {
 	switch name {
@@ -205,8 +224,10 @@ func GridByName(name string, instr uint64) (Grid, error) {
 		return FullGrid(instr), nil
 	case "micro":
 		return MicroGrid(instr), nil
+	case "litmus":
+		return LitmusGrid(instr), nil
 	}
-	return Grid{}, fmt.Errorf("sweep: unknown grid %q (have fig10, full, micro)", name)
+	return Grid{}, fmt.Errorf("sweep: unknown grid %q (have fig10, full, micro, litmus)", name)
 }
 
 // RunFunc executes one unit and returns its simulation result. A RunFunc

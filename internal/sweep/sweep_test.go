@@ -382,7 +382,7 @@ func TestLoadJournalRejectsGarbage(t *testing.T) {
 // TestGridKeysUnique pins that every preset grid has pairwise-distinct run
 // keys — the property journals and the memo cache rely on.
 func TestGridKeysUnique(t *testing.T) {
-	for _, g := range []Grid{MicroGrid(0), Fig10Grid(0), FullGrid(0)} {
+	for _, g := range []Grid{MicroGrid(0), Fig10Grid(0), FullGrid(0), LitmusGrid(0)} {
 		seen := make(map[string]int)
 		for _, u := range g.Units() {
 			if prev, dup := seen[u.Key]; dup {
@@ -393,5 +393,32 @@ func TestGridKeysUnique(t *testing.T) {
 		if len(seen) != g.info().Total {
 			t.Errorf("grid %s: %d unique keys, GridInfo.Total says %d", g.Name, len(seen), g.info().Total)
 		}
+	}
+}
+
+// TestLitmusGridRuns executes a slice of the litmus grid end to end through
+// the standard RunFunc: every litmus unit must simulate cleanly (short
+// programs halt well before the budget) and resolve via GridByName.
+func TestLitmusGridRuns(t *testing.T) {
+	g, err := GridByName("litmus", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := g.Units()
+	if len(units) == 0 {
+		t.Fatal("litmus grid is empty")
+	}
+	run := Sim(g.Instr)
+	for _, u := range units[:8] {
+		res, err := run(context.Background(), u)
+		if err != nil {
+			t.Fatalf("unit %s (%s): %v", u.Key, u.Profile.Name, err)
+		}
+		if !res.Halted || res.Committed == 0 {
+			t.Errorf("unit %s (%s): halted=%v committed=%d", u.Key, u.Profile.Name, res.Halted, res.Committed)
+		}
+	}
+	if _, err := GridByName("nonesuch", 0); err == nil || !strings.Contains(err.Error(), "litmus") {
+		t.Errorf("GridByName error should list the litmus preset: %v", err)
 	}
 }

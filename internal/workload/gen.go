@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"atr/internal/isa"
+	"atr/internal/memmodel"
 	"atr/internal/program"
 )
 
@@ -25,6 +26,16 @@ const memBase = 0x10_0000
 // Generate builds the executable program for the profile. The same profile
 // always produces the same program.
 func (p Profile) Generate() *program.Program {
+	if p.Litmus != "" {
+		l, err := memmodel.ProgramFor(p.Litmus)
+		if err != nil {
+			// Litmus profiles are constructed via LitmusProfiles/ByName,
+			// which validate the spec; a bad spec here is a programming
+			// error, consistent with Generate's no-error signature.
+			panic(fmt.Sprintf("workload: litmus profile %q: %v", p.Name, err))
+		}
+		return l.Prog
+	}
 	g := &gen{
 		p:  p,
 		r:  rand.New(rand.NewSource(int64(p.Seed*0x9e3779b9 + 1))),

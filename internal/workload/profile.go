@@ -9,7 +9,12 @@
 // from a seed.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"atr/internal/memmodel"
+)
 
 // Profile parameterizes one synthetic benchmark.
 type Profile struct {
@@ -64,6 +69,13 @@ type Profile struct {
 	Funcs     int // callable leaf functions
 	CallFrac  float64
 	Indirect  bool // include an indirect switch
+
+	// Litmus, when non-empty, overrides synthetic generation entirely: the
+	// profile's program is the memmodel lowering of the named litmus spec
+	// ("sb", "mp#3", ...). Litmus programs are short straight-line probes
+	// with exhaustively known legal outcomes, not statistical workloads, so
+	// sampled (checkpoint/fast-forward) execution rejects them.
+	Litmus string
 }
 
 func (p Profile) String() string { return fmt.Sprintf("%s(%s)", p.Name, p.Class) }
@@ -198,11 +210,52 @@ func FPProfiles() []Profile {
 // Profiles returns all benchmark profiles, integer suite first.
 func Profiles() []Profile { return append(IntProfiles(), FPProfiles()...) }
 
-// ByName looks a profile up by benchmark name.
+// LitmusProfiles returns the memory-model litmus family as profiles: for
+// each registered shape, the first, a middle, and the last interleaving
+// (deduplicated — single-thread shapes have exactly one). Names follow
+// "litmus-<shape>#<n>"; ByName additionally resolves any valid spec
+// dynamically, so grids can reference interleavings beyond this default set.
+func LitmusProfiles() []Profile {
+	var out []Profile
+	for _, sh := range memmodel.Shapes() {
+		cnt := sh.Prog.InterleavingCount()
+		picks := []int{0, cnt / 2, cnt - 1}
+		seen := map[int]bool{}
+		for _, n := range picks {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			spec := fmt.Sprintf("%s#%d", sh.Name, n)
+			out = append(out, Profile{
+				Name:   "litmus-" + spec,
+				Class:  "litmus",
+				Litmus: spec,
+				// Structural fields are unused by litmus generation but
+				// kept sane for code that inspects profiles generically.
+				RegWindow: 4, BlockLen: 8, Loops: 1, TripCount: 1,
+			})
+		}
+	}
+	return out
+}
+
+// ByName looks a profile up by benchmark name. Names with the "litmus-"
+// prefix resolve dynamically against the memmodel shape registry, so every
+// interleaving of every shape is addressable, not just the LitmusProfiles
+// defaults.
 func ByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
 		if p.Name == name {
 			return p, true
+		}
+	}
+	if spec, ok := strings.CutPrefix(name, "litmus-"); ok {
+		if _, err := memmodel.ProgramFor(spec); err == nil {
+			return Profile{
+				Name: name, Class: "litmus", Litmus: spec,
+				RegWindow: 4, BlockLen: 8, Loops: 1, TripCount: 1,
+			}, true
 		}
 	}
 	return Profile{}, false

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"atr/internal/isa"
+	"atr/internal/memmodel"
 	"atr/internal/program"
 )
 
@@ -188,6 +190,64 @@ func TestWorkingSetRespected(t *testing.T) {
 		}
 		if (r.Op == isa.OpLoad || r.Op == isa.OpStore) && (r.EA < memBase || r.EA >= memBase+p.WorkingSet+2048) {
 			t.Fatalf("EA %#x outside working set", r.EA)
+		}
+	}
+}
+
+func TestLitmusProfiles(t *testing.T) {
+	lps := LitmusProfiles()
+	if len(lps) == 0 {
+		t.Fatal("no litmus profiles")
+	}
+	seen := map[string]bool{}
+	for _, p := range lps {
+		if p.Class != "litmus" || p.Litmus == "" {
+			t.Fatalf("%s: malformed litmus profile %+v", p.Name, p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate litmus profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		prog := p.Generate()
+		if prog.Len() == 0 {
+			t.Fatalf("%s: empty program", p.Name)
+		}
+		got, ok := ByName(p.Name)
+		if !ok || got.Litmus != p.Litmus {
+			t.Fatalf("ByName(%s) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	// Every registered shape must appear at least once.
+	for _, sh := range memmodel.Shapes() {
+		if !seen["litmus-"+sh.Name+"#0"] {
+			t.Errorf("shape %s missing from litmus profiles", sh.Name)
+		}
+	}
+}
+
+func TestLitmusByNameDynamic(t *testing.T) {
+	// Interleavings beyond the LitmusProfiles defaults resolve dynamically.
+	p, ok := ByName("litmus-sb#4")
+	if !ok || p.Litmus != "sb#4" {
+		t.Fatalf("ByName(litmus-sb#4) = %+v, %v", p, ok)
+	}
+	p.Generate() // must not panic
+	for _, bad := range []string{"litmus-nonesuch", "litmus-sb#999", "litmus-"} {
+		if _, ok := ByName(bad); ok {
+			t.Errorf("ByName(%q) resolved", bad)
+		}
+	}
+}
+
+func TestLitmusGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("litmus-mp#3")
+	a, b := p.Generate(), p.Generate()
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic litmus generation")
+	}
+	for pc := uint64(0); pc < uint64(a.Len()); pc++ {
+		if !reflect.DeepEqual(a.At(pc), b.At(pc)) {
+			t.Fatalf("pc %d differs between generations", pc)
 		}
 	}
 }
