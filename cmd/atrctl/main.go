@@ -14,6 +14,12 @@
 //	list
 //	health
 //	metrics  [-prom]        daemon counters (JSON; -prom: Prometheus text)
+//	workers                 coordinator fleet view (cluster mode)
+//	quota    [tenant max]   show per-tenant quotas, or set one (0 removes)
+//
+// Requests that fail transiently — connection refused or reset while a
+// daemon restarts, or 429 backpressure — are retried with doubling
+// backoff, honoring Retry-After, bounded by -retries/-retry-backoff.
 //
 // Exit status: 0 success (watch/wait: job done), 1 operational error or
 // job failure, 2 usage error.
@@ -23,23 +29,31 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 )
 
 type client struct {
-	base string
-	http *http.Client
+	base         string
+	http         *http.Client
+	retries      int
+	retryBackoff time.Duration
 }
 
 func main() {
 	global := flag.NewFlagSet("atrctl", flag.ExitOnError)
 	server := global.String("server", envOr("ATRD_SERVER", "http://localhost:8437"), "atrd base URL")
+	retries := global.Int("retries", 3, "retries for transient failures (refused/reset connections, 429)")
+	retryBackoff := global.Duration("retry-backoff", 500*time.Millisecond, "first-retry backoff (doubles per retry; 429 honors Retry-After)")
 	global.Usage = usage
 	_ = global.Parse(os.Args[1:])
 	args := global.Args()
@@ -47,7 +61,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*server, "/"), http: &http.Client{}}
+	c := &client{
+		base:         strings.TrimRight(*server, "/"),
+		http:         &http.Client{},
+		retries:      *retries,
+		retryBackoff: *retryBackoff,
+	}
 
 	cmd, rest := args[0], args[1:]
 	var err error
@@ -72,6 +91,10 @@ func main() {
 		err = c.get("/healthz", os.Stdout)
 	case "metrics":
 		err = c.metrics(rest)
+	case "workers":
+		err = c.workers()
+	case "quota":
+		err = c.quota(rest)
 	default:
 		fmt.Fprintf(os.Stderr, "atrctl: unknown command %q\n", cmd)
 		usage()
@@ -84,8 +107,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: atrctl [-server URL] <command> [flags] [args]
-commands: submit watch wait status manifest perf cancel list health metrics`)
+	fmt.Fprintln(os.Stderr, `usage: atrctl [-server URL] [-retries N] [-retry-backoff d] <command> [flags] [args]
+commands: submit watch wait status manifest perf cancel list health metrics workers quota`)
 }
 
 func envOr(key, def string) string {
@@ -115,6 +138,72 @@ func apiErr(resp *http.Response) error {
 	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
 }
 
+// transient reports whether a request error is worth retrying: the
+// connection shapes a restarting or briefly overloaded daemon produces.
+// Everything else (DNS failures, TLS errors, timeouts from hung streams)
+// surfaces immediately.
+func transient(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// retryWait picks the sleep before the next attempt: the server's
+// Retry-After (whole seconds) when a 429 carries one, the doubling
+// backoff otherwise.
+func retryWait(resp *http.Response, backoff time.Duration) time.Duration {
+	if resp != nil {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return backoff
+}
+
+// do executes build()'s request, retrying transient failures — refused or
+// reset connections while a daemon restarts, and 429 backpressure — with
+// doubling backoff, honoring Retry-After. Bounded by -retries; the final
+// attempt's outcome (response or error) goes to the caller unchanged, so
+// a persistent 429 still renders through apiErr with its server message.
+func (c *client) do(build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := c.retryBackoff
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
+		if err == nil && resp.StatusCode != http.StatusTooManyRequests {
+			return resp, nil
+		}
+		if err != nil && !transient(err) {
+			return nil, err
+		}
+		if attempt >= c.retries {
+			return resp, err
+		}
+		wait := retryWait(resp, backoff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atrctl: %v; retrying in %s (%d/%d)\n", err, wait, attempt+1, c.retries)
+		} else {
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "atrctl: %s; retrying in %s (%d/%d)\n", resp.Status, wait, attempt+1, c.retries)
+		}
+		time.Sleep(wait)
+		backoff *= 2
+	}
+}
+
+func (c *client) doGet(path, accept string) (*http.Response, error) {
+	return c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+		if err == nil && accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		return req, err
+	})
+}
+
 func (c *client) get(path string, w io.Writer) error {
 	return c.getAccept(path, "", w)
 }
@@ -122,14 +211,7 @@ func (c *client) get(path string, w io.Writer) error {
 // getAccept is get with an Accept header — /metrics negotiates between
 // Prometheus text (its default) and the JSON ServerInfo view.
 func (c *client) getAccept(path, accept string, w io.Writer) error {
-	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	if accept != "" {
-		req.Header.Set("Accept", accept)
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.doGet(path, accept)
 	if err != nil {
 		return err
 	}
@@ -205,7 +287,13 @@ func (c *client) submit(args []string) error {
 	if *watch {
 		url += "?watch=1"
 	}
-	resp, err := c.http.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, err
+	})
 	if err != nil {
 		return err
 	}
@@ -319,7 +407,7 @@ func (c *client) watch(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: atrctl watch <job>")
 	}
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	resp, err := c.doGet("/v1/jobs/"+args[0]+"/events", "")
 	if err != nil {
 		return err
 	}
@@ -351,7 +439,7 @@ func (c *client) wait(args []string) error {
 
 func (c *client) status(id string) (status, error) {
 	var st status
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+	resp, err := c.doGet("/v1/jobs/"+id, "")
 	if err != nil {
 		return st, err
 	}
@@ -393,11 +481,9 @@ func (c *client) cancel(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: atrctl cancel <job>")
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -410,7 +496,7 @@ func (c *client) cancel(args []string) error {
 }
 
 func (c *client) list() error {
-	resp, err := c.http.Get(c.base + "/v1/jobs")
+	resp, err := c.doGet("/v1/jobs", "")
 	if err != nil {
 		return err
 	}
@@ -428,6 +514,117 @@ func (c *client) list() error {
 			fmt.Printf("  (%s)", j.Error)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// workers renders the coordinator's fleet view. The decode struct mirrors
+// obs.ClusterInfo — atrctl stays free of internal imports by design.
+func (c *client) workers() error {
+	resp, err := c.doGet("/cluster/v1/workers", "")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Workers []struct {
+			ID              string  `json:"id"`
+			Addr            string  `json:"addr"`
+			SimWorkers      int     `json:"sim_workers"`
+			AliveSeconds    float64 `json:"alive_seconds"`
+			LastBeatSeconds float64 `json:"last_beat_seconds"`
+			Leased          int     `json:"leased"`
+			Done            uint64  `json:"done"`
+			Failed          uint64  `json:"failed"`
+		} `json:"workers"`
+		JobsActive   int `json:"jobs_active"`
+		UnitsDone    int `json:"units_done"`
+		UnitsLeased  int `json:"units_leased"`
+		UnitsPending int `json:"units_pending"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return err
+	}
+	fmt.Printf("%d workers; %d active jobs; units %d done / %d leased / %d pending\n",
+		len(info.Workers), info.JobsActive, info.UnitsDone, info.UnitsLeased, info.UnitsPending)
+	if len(info.Workers) == 0 {
+		return nil
+	}
+	fmt.Printf("%-16s %-20s %4s %8s %9s %7s %8s %7s\n",
+		"NAME", "ADDR", "SIM", "ALIVE", "LAST-BEAT", "LEASED", "DONE", "FAILED")
+	for _, w := range info.Workers {
+		fmt.Printf("%-16s %-20s %4d %7.0fs %8.1fs %7d %8d %7d\n",
+			w.ID, w.Addr, w.SimWorkers, w.AliveSeconds, w.LastBeatSeconds, w.Leased, w.Done, w.Failed)
+	}
+	return nil
+}
+
+// quota with no args shows the coordinator's per-tenant quota table;
+// `quota <tenant> <max>` sets an override (max 0 removes it).
+func (c *client) quota(args []string) error {
+	switch len(args) {
+	case 0:
+		return c.showQuotas(nil)
+	case 2:
+		max, err := strconv.Atoi(args[1])
+		if err != nil || max < 0 {
+			return fmt.Errorf("quota: max-active must be a non-negative integer, got %q", args[1])
+		}
+		body, _ := json.Marshal(map[string]any{"tenant": args[0], "max_active": max})
+		resp, err := c.do(func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPut, c.base+"/cluster/v1/quotas", bytes.NewReader(body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			return req, err
+		})
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return apiErr(resp)
+		}
+		return c.showQuotas(resp)
+	default:
+		return fmt.Errorf("usage: atrctl quota [tenant max-active]")
+	}
+}
+
+// showQuotas renders a quota view, fetching it when resp is nil.
+func (c *client) showQuotas(resp *http.Response) error {
+	if resp == nil {
+		var err error
+		resp, err = c.doGet("/cluster/v1/quotas", "")
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return apiErr(resp)
+		}
+	}
+	defer resp.Body.Close()
+	var v struct {
+		DefaultMaxActive int            `json:"default_max_active"`
+		Tenants          map[string]int `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+	if v.DefaultMaxActive == 0 {
+		fmt.Println("default: unlimited")
+	} else {
+		fmt.Printf("default: %d active jobs\n", v.DefaultMaxActive)
+	}
+	tenants := make([]string, 0, len(v.Tenants))
+	for tenant := range v.Tenants {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		fmt.Printf("%-24s %d\n", tenant, v.Tenants[tenant])
 	}
 	return nil
 }

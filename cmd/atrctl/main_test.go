@@ -1,0 +1,134 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryOn429HonorsRetryAfter drives the transport against a server
+// that answers 429 twice before succeeding: the client must retry exactly
+// through the budget, sleep at least the advertised Retry-After, and hand
+// the caller the eventual 200.
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := &client{base: ts.URL, http: &http.Client{}, retries: 3, retryBackoff: time.Millisecond}
+	resp, err := c.doGet("/v1/jobs", "")
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries, want 200", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 429s then success)", got)
+	}
+}
+
+// TestRetryBudgetExhaustedReturns429 checks a persistent 429 is returned
+// to the caller (so apiErr can render the server's message) rather than
+// being swallowed, and that the attempt count is retries+1.
+func TestRetryBudgetExhaustedReturns429(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := &client{base: ts.URL, http: &http.Client{}, retries: 2, retryBackoff: time.Millisecond}
+	resp, err := c.doGet("/v1/jobs", "")
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the final 429 surfaced", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestRetryOnConnectionRefused proves the transient classifier treats a
+// refused connection as retryable: the daemon's port opens between the
+// first attempt and the retry, and the request ultimately succeeds.
+func TestRetryOnConnectionRefused(t *testing.T) {
+	// Reserve a port, then close it so the first attempt is refused.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	probe, err := http.Get("http://" + addr + "/")
+	if err == nil {
+		probe.Body.Close()
+		t.Skip("reserved port answered; cannot stage a refused connection")
+	}
+	if !transient(err) {
+		t.Fatalf("connection-refused error not classified transient: %v", err)
+	}
+
+	// Bring the server up concurrently with the client's retry loop.
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		lis2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		srv.Serve(lis2)
+	}()
+	defer srv.Close()
+
+	c := &client{base: "http://" + addr, http: &http.Client{}, retries: 5, retryBackoff: 50 * time.Millisecond}
+	resp, err := c.doGet("/healthz", "")
+	if err != nil {
+		t.Fatalf("request never recovered across daemon start: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestTransientClassification pins down what the retry loop must NOT
+// retry: plain HTTP errors arrive as responses (nil error), and a nil
+// error is never transient.
+func TestTransientClassification(t *testing.T) {
+	if transient(nil) {
+		t.Fatal("nil error classified transient")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := &client{base: ts.URL, http: &http.Client{}, retries: 3, retryBackoff: time.Millisecond}
+	resp, err := c.doGet("/", "")
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 passed through without retry", resp.StatusCode)
+	}
+}

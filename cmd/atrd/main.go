@@ -30,6 +30,19 @@
 // answers 429 with Retry-After. On SIGINT/SIGTERM the daemon drains:
 // in-flight runs finish and are journaled, incomplete jobs park in the
 // state dir, and the next atrd over the same -state resumes them.
+//
+// Distributed mode — the same binary plays both cluster roles:
+//
+//	atrd -coordinator [-addr :8437] [-state dir] [-heartbeat-timeout d]
+//	     [-lease-timeout d] [-max-active N] [-rate r] [-burst N]
+//	atrd -join http://coordinator:8437 [-name w1] [-addr :8438]
+//	     [-sim-workers N] [-poll-interval d] [-retries N] [-backoff d]
+//
+// A coordinator serves the identical /v1/jobs API (atrctl works
+// unchanged) but shards grid units across joined workers instead of
+// executing locally, merging uploads into manifests byte-identical to a
+// single-node run. A joined worker executes leased units on the sweep
+// engine's per-unit path and serves only /healthz and /metrics itself.
 package main
 
 import (
@@ -45,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"atr/internal/cluster"
 	"atr/internal/server"
 )
 
@@ -96,7 +110,34 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator: shard grids across joined workers")
+	join := flag.String("join", "", "run as cluster worker joined to this coordinator URL")
+	name := flag.String("name", "", "worker name, stable across restarts (default: hostname)")
+	hbTimeout := flag.Duration("heartbeat-timeout", 10*time.Second, "coordinator: evict workers silent this long")
+	leaseTimeout := flag.Duration("lease-timeout", 60*time.Second, "coordinator: reclaim unit leases unsatisfied this long")
+	pollInterval := flag.Duration("poll-interval", 250*time.Millisecond, "worker: idle sleep between empty polls")
+	maxActive := flag.Int("max-active", 0, "coordinator: default per-tenant active-job quota (0 = unlimited)")
 	flag.Parse()
+
+	if *coordinator && *join != "" {
+		fmt.Fprintln(os.Stderr, "atrd: -coordinator and -join are mutually exclusive")
+		os.Exit(2)
+	}
+	if *coordinator {
+		os.Exit(runCoordinator(newLogger(*logFormat, *logLevel), coordArgs{
+			addr: *addr, state: *state, instr: *instr,
+			hbTimeout: *hbTimeout, leaseTimeout: *leaseTimeout,
+			rate: *rate, burst: *burst, maxActive: *maxActive, cacheCap: *cacheCap,
+			drain: *drain,
+		}))
+	}
+	if *join != "" {
+		os.Exit(runWorker(newLogger(*logFormat, *logLevel), workerArgs{
+			coordinator: *join, name: *name, addr: *addr,
+			simWorkers: *simWorkers, retries: *retries, backoff: *backoff,
+			pollInterval: *pollInterval,
+		}))
+	}
 
 	if *queue < 1 || *jobWorkers < 1 {
 		fmt.Fprintln(os.Stderr, "atrd: -queue and -job-workers must be >= 1")
@@ -165,4 +206,108 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly; incomplete jobs will resume on restart")
+}
+
+type coordArgs struct {
+	addr, state  string
+	instr        uint64
+	hbTimeout    time.Duration
+	leaseTimeout time.Duration
+	rate         float64
+	burst        int
+	maxActive    int
+	cacheCap     int
+	drain        time.Duration
+}
+
+// runCoordinator serves the cluster control plane: worker membership,
+// unit leasing, and journal merging over the persistent job store.
+func runCoordinator(logger *slog.Logger, a coordArgs) int {
+	c, err := cluster.NewCoordinator(cluster.Options{
+		StateDir:         a.state,
+		DefaultInstr:     a.instr,
+		HeartbeatTimeout: a.hbTimeout,
+		LeaseTimeout:     a.leaseTimeout,
+		Rate:             a.rate,
+		Burst:            a.burst,
+		MaxActive:        a.maxActive,
+		CacheCap:         a.cacheCap,
+		Logger:           logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atrd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Addr: a.addr, Handler: c}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("coordinating", "addr", a.addr, "state", a.state,
+		"heartbeat_timeout", a.hbTimeout.String(), "lease_timeout", a.leaseTimeout.String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "atrd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), a.drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(dctx)
+	c.Close()
+	logger.Info("coordinator stopped; in-flight jobs resume from the job store on restart")
+	return 0
+}
+
+type workerArgs struct {
+	coordinator, name, addr string
+	simWorkers              int
+	retries                 int
+	backoff                 time.Duration
+	pollInterval            time.Duration
+}
+
+// runWorker joins the fleet: register, heartbeat, poll for unit leases,
+// execute them on the engine's per-unit path, upload records. The
+// worker's own HTTP surface is just /healthz and /metrics.
+func runWorker(logger *slog.Logger, a workerArgs) int {
+	if a.name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			fmt.Fprintln(os.Stderr, "atrd: -name required (hostname unavailable)")
+			return 2
+		}
+		a.name = host
+	}
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator:  a.coordinator,
+		Name:         a.name,
+		Addr:         a.addr,
+		SimWorkers:   a.simWorkers,
+		Retries:      a.retries,
+		Backoff:      a.backoff,
+		PollInterval: a.pollInterval,
+		Logger:       logger,
+	})
+	if a.addr != "" {
+		httpSrv := &http.Server{Addr: a.addr, Handler: w.Handler()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("worker http", "err", err)
+			}
+		}()
+		defer httpSrv.Close()
+	}
+	logger.Info("joined", "coordinator", a.coordinator, "name", a.name, "addr", a.addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "atrd:", err)
+		return 1
+	}
+	logger.Info("worker stopped")
+	return 0
 }

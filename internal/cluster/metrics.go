@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"time"
+
+	"atr/internal/obs"
+	"atr/internal/telemetry"
+)
+
+// coordMetrics is the coordinator's instrument set, exposed at
+// GET /metrics in Prometheus text exposition. All cluster-specific
+// families carry the atr_cluster_ prefix; the shared result-cache
+// families reuse the daemon's names so dashboards work unchanged.
+type coordMetrics struct {
+	reg *telemetry.Registry
+
+	workersRegistered *telemetry.Counter
+	workersEvicted    *telemetry.Counter
+	heartbeats        *telemetry.Counter
+
+	unitsDispatched *telemetry.Counter
+	unitsUploaded   *telemetry.Counter
+	unitsStolen     *telemetry.Counter
+	unitsFromCache  *telemetry.Counter
+	dupUploads      *telemetry.Counter
+	badUploads      *telemetry.Counter
+
+	jobsSubmitted *telemetry.Counter
+	jobsDone      *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	jobsCancelled *telemetry.Counter
+	jobsRecovered *telemetry.Counter
+
+	rateLimited   *telemetry.Counter
+	quotaRejected *telemetry.Counter
+
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+}
+
+func newCoordMetrics() *coordMetrics {
+	reg := telemetry.NewRegistry()
+	return &coordMetrics{
+		reg:               reg,
+		workersRegistered: reg.Counter("atr_cluster_workers_registered_total", "Worker registrations accepted (including re-registrations)."),
+		workersEvicted:    reg.Counter("atr_cluster_workers_evicted_total", "Workers evicted after missing heartbeats."),
+		heartbeats:        reg.Counter("atr_cluster_heartbeats_total", "Heartbeats received from registered workers."),
+		unitsDispatched:   reg.Counter("atr_cluster_units_dispatched_total", "Unit leases granted to polling workers."),
+		unitsUploaded:     reg.Counter("atr_cluster_units_uploaded_total", "Run records accepted from workers."),
+		unitsStolen:       reg.Counter("atr_cluster_units_stolen_total", "Leases reclaimed from slow or dead workers for steal-back."),
+		unitsFromCache:    reg.Counter("atr_cluster_units_from_cache_total", "Grid units satisfied by the content-addressed result cache."),
+		dupUploads:        reg.Counter("atr_cluster_duplicate_uploads_total", "Uploads for units already recorded (idempotently discarded)."),
+		badUploads:        reg.Counter("atr_cluster_bad_uploads_total", "Uploaded records whose key matches no unit of the job."),
+		jobsSubmitted:     reg.Counter("atr_cluster_jobs_submitted_total", "Cluster jobs accepted by the admission path."),
+		jobsDone:          reg.Counter("atr_cluster_jobs_done_total", "Cluster jobs that finished with a merged manifest."),
+		jobsFailed:        reg.Counter("atr_cluster_jobs_failed_total", "Cluster jobs that ended in a terminal failure."),
+		jobsCancelled:     reg.Counter("atr_cluster_jobs_cancelled_total", "Cluster jobs cancelled by a client."),
+		jobsRecovered:     reg.Counter("atr_cluster_jobs_recovered_total", "In-flight jobs recovered from the job store at startup."),
+		rateLimited:       reg.Counter("atr_rate_limited_total", "Submissions refused with 429 by the token bucket."),
+		quotaRejected:     reg.Counter("atr_cluster_quota_rejected_total", "Submissions refused with 429 by a tenant's active-job quota."),
+		cacheHits:         reg.Counter("atr_result_cache_hits_total", "Result cache lookups that hit."),
+		cacheMisses:       reg.Counter("atr_result_cache_misses_total", "Result cache lookups that missed."),
+	}
+}
+
+// registerCollectors adds the scrape-time callbacks reading coordinator
+// state under its own lock: fleet size, unit accounting, uptime, build.
+func (cm *coordMetrics) registerCollectors(c *Coordinator) {
+	b := obs.Build()
+	cm.reg.GaugeFunc("atr_build_info", "Build identity (value is always 1).",
+		func() float64 { return 1 },
+		telemetry.Label{Key: "go_version", Value: b.GoVersion},
+		telemetry.Label{Key: "revision", Value: b.Revision})
+	cm.reg.GaugeFunc("atr_uptime_seconds", "Seconds since coordinator start.",
+		func() float64 { return time.Since(c.startedAt).Seconds() })
+	cm.reg.GaugeFunc("atr_cluster_workers", "Workers currently registered and live.",
+		func() float64 { return float64(len(c.Fleet().Workers)) })
+	cm.reg.GaugeFunc("atr_cluster_jobs_active", "Cluster jobs currently executing.",
+		func() float64 { return float64(c.Fleet().JobsActive) })
+	cm.reg.GaugeFunc("atr_cluster_units_pending", "Units of active jobs awaiting a lease.",
+		func() float64 { return float64(c.Fleet().UnitsPending) })
+	cm.reg.GaugeFunc("atr_cluster_units_leased", "Units currently under a live worker lease.",
+		func() float64 { return float64(c.Fleet().UnitsLeased) })
+	cm.reg.GaugeFunc("atr_result_cache_size", "Records resident in the result cache.",
+		func() float64 { _, _, size, _ := c.cache.Stats(); return float64(size) })
+	cm.reg.GaugeFunc("atr_result_cache_capacity", "Result cache capacity.",
+		func() float64 { _, _, _, capacity := c.cache.Stats(); return float64(capacity) })
+	cm.reg.GaugeFunc("atr_rate_clients", "Token buckets currently tracked by the rate limiter.",
+		func() float64 { return float64(c.limiter.Clients()) })
+}
+
+// workerMetrics is the worker daemon's instrument set, served from its
+// own /metrics endpoint when the worker advertises an address.
+type workerMetrics struct {
+	reg *telemetry.Registry
+
+	registrations *telemetry.Counter
+	heartbeats    *telemetry.Counter
+	polls         *telemetry.Counter
+	pollErrors    *telemetry.Counter
+	unitsExecuted *telemetry.Counter
+	unitsFailed   *telemetry.Counter
+	uploads       *telemetry.Counter
+	uploadErrors  *telemetry.Counter
+	registered    *telemetry.Gauge
+}
+
+func newWorkerMetrics(coordinator, name string) *workerMetrics {
+	reg := telemetry.NewRegistry()
+	wm := &workerMetrics{
+		reg:           reg,
+		registrations: reg.Counter("atr_worker_registrations_total", "Registrations sent to the coordinator (including re-registrations)."),
+		heartbeats:    reg.Counter("atr_worker_heartbeats_total", "Heartbeats delivered to the coordinator."),
+		polls:         reg.Counter("atr_worker_polls_total", "Work polls sent to the coordinator."),
+		pollErrors:    reg.Counter("atr_worker_poll_errors_total", "Work polls that failed (coordinator unreachable or refused)."),
+		unitsExecuted: reg.Counter("atr_worker_units_executed_total", "Grid units executed to completion on this worker."),
+		unitsFailed:   reg.Counter("atr_worker_units_failed_total", "Grid units recorded as failed after exhausting retries."),
+		uploads:       reg.Counter("atr_worker_uploads_total", "Run records uploaded to the coordinator."),
+		uploadErrors:  reg.Counter("atr_worker_upload_errors_total", "Record uploads abandoned after bounded retries."),
+		registered:    reg.Gauge("atr_worker_registered", "1 while the worker believes it is registered."),
+	}
+	b := obs.Build()
+	reg.GaugeFunc("atr_build_info", "Build identity (value is always 1).",
+		func() float64 { return 1 },
+		telemetry.Label{Key: "go_version", Value: b.GoVersion},
+		telemetry.Label{Key: "revision", Value: b.Revision})
+	reg.GaugeFunc("atr_worker_info", "Worker identity (value is always 1).",
+		func() float64 { return 1 },
+		telemetry.Label{Key: "name", Value: name},
+		telemetry.Label{Key: "coordinator", Value: coordinator})
+	return wm
+}

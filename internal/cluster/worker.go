@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"atr/internal/checkpoint"
+	"atr/internal/experiments"
+	"atr/internal/pipeline"
+	"atr/internal/sweep"
+)
+
+// WorkerOptions configures a worker daemon.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	// Required.
+	Coordinator string
+
+	// Name identifies this worker to the coordinator; it should be
+	// stable across restarts so re-registration replaces the old
+	// membership entry. Required.
+	Name string
+
+	// Addr, optional, is the advertised address of this worker's own
+	// /metrics endpoint, surfaced in the fleet view.
+	Addr string
+
+	// SimWorkers bounds concurrent unit executions; <= 0 selects
+	// GOMAXPROCS.
+	SimWorkers int
+
+	// Retries/Backoff are the per-unit retry budget, identical in
+	// semantics to the sweep engine's options (sweep.ExecuteUnit runs
+	// both).
+	Retries int
+	Backoff time.Duration
+
+	// PollInterval is the idle sleep between empty polls. <= 0 selects
+	// 250ms.
+	PollInterval time.Duration
+
+	// PollMax bounds units requested per poll; <= 0 lets the coordinator
+	// decide.
+	PollMax int
+
+	// Logger receives structured worker logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Worker is the execution half of the cluster: it registers with a
+// coordinator, heartbeats, polls for unit leases, executes them with the
+// sweep engine's own per-unit path over a shared program cache, and
+// uploads each record promptly (prompt upload is what makes the
+// coordinator's journal a live account of cluster progress). Workers hold
+// no durable state: a killed worker loses only in-flight units, which the
+// coordinator's lease expiry hands to the rest of the fleet.
+type Worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	runner *experiments.Runner
+	pool   *sweep.Pool
+	wm     *workerMetrics
+	logger *slog.Logger
+
+	mu         sync.Mutex
+	registered bool
+	hbInterval time.Duration
+}
+
+// NewWorker creates a worker daemon.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.SimWorkers <= 0 {
+		opts.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 250 * time.Millisecond
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Worker{
+		opts:   opts,
+		client: &http.Client{Timeout: 30 * time.Second},
+		// The runner is used only for its shared program cache (one
+		// immutable image per profile across all assignments); result
+		// dedup is the coordinator's job, through the content-addressed
+		// cache.
+		runner: experiments.NewRunner(0),
+		pool:   sweep.NewPool(opts.SimWorkers),
+		wm:     newWorkerMetrics(opts.Coordinator, opts.Name),
+		logger: opts.Logger,
+	}
+}
+
+// Handler serves the worker's own observability surface: /healthz and
+// /metrics (atr_worker_* families).
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, "{\"status\":\"ok\",\"role\":\"worker\",\"name\":%q}\n", w.opts.Name)
+	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = w.wm.reg.WriteText(rw)
+	})
+	return mux
+}
+
+// Run registers with the coordinator and executes assigned shards until
+// ctx is cancelled. Transient coordinator unavailability — restarts,
+// evictions — is absorbed by re-registration; Run only returns on ctx
+// cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.opts.Coordinator == "" || w.opts.Name == "" {
+		return fmt.Errorf("cluster: worker needs Coordinator and Name")
+	}
+	if err := w.registerUntil(ctx); err != nil {
+		return err
+	}
+
+	hbCtx, cancelHB := context.WithCancel(ctx)
+	defer cancelHB()
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+	defer hbDone.Wait()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		assignments, err := w.poll(ctx)
+		if err != nil {
+			w.wm.pollErrors.Inc()
+			if isUnknown(err) {
+				w.setRegistered(false)
+				if err := w.registerUntil(ctx); err != nil {
+					return err
+				}
+				continue
+			}
+			w.logger.Debug("poll failed", "err", err)
+			if !sleepCtx(ctx, w.opts.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if len(assignments) == 0 {
+			if !sleepCtx(ctx, w.opts.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		for _, a := range assignments {
+			w.execute(ctx, a)
+		}
+	}
+}
+
+func (w *Worker) setRegistered(ok bool) {
+	w.mu.Lock()
+	w.registered = ok
+	w.mu.Unlock()
+	if ok {
+		w.wm.registered.Set(1)
+	} else {
+		w.wm.registered.Set(0)
+	}
+}
+
+// registerUntil registers with backoff until success or ctx cancellation.
+func (w *Worker) registerUntil(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		if err := w.register(ctx); err == nil {
+			return nil
+		} else {
+			w.logger.Debug("register failed", "err", err)
+		}
+		if !sleepCtx(ctx, backoff) {
+			return ctx.Err()
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	var resp registerResponse
+	err := w.post(ctx, "/cluster/v1/register", registerRequest{
+		Name: w.opts.Name, Addr: w.opts.Addr, SimWorkers: w.opts.SimWorkers,
+	}, &resp)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.hbInterval = time.Duration(resp.HeartbeatMillis) * time.Millisecond
+	if w.hbInterval <= 0 {
+		w.hbInterval = 3 * time.Second
+	}
+	w.mu.Unlock()
+	w.setRegistered(true)
+	w.wm.registrations.Inc()
+	w.logger.Info("registered", "coordinator", w.opts.Coordinator, "heartbeat", w.hbInterval.String())
+	return nil
+}
+
+// heartbeatLoop beats at the coordinator-announced interval for as long
+// as the worker runs — including while the main loop is deep in a long
+// execution, which is exactly when liveness matters. An unknown-worker
+// response (coordinator restarted or evicted us) triggers immediate
+// re-registration so outstanding uploads are attributed again.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		interval := w.hbInterval
+		w.mu.Unlock()
+		if interval <= 0 {
+			interval = 3 * time.Second
+		}
+		if !sleepCtx(ctx, interval) {
+			return
+		}
+		var out map[string]string
+		err := w.post(ctx, "/cluster/v1/heartbeat", heartbeatRequest{Worker: w.opts.Name}, &out)
+		switch {
+		case err == nil:
+			w.wm.heartbeats.Inc()
+		case isUnknown(err):
+			w.setRegistered(false)
+			if err := w.register(ctx); err != nil {
+				w.logger.Debug("re-register after heartbeat 404 failed", "err", err)
+			}
+		default:
+			w.logger.Debug("heartbeat failed", "err", err)
+		}
+	}
+}
+
+func (w *Worker) poll(ctx context.Context) ([]Assignment, error) {
+	w.wm.polls.Inc()
+	var resp pollResponse
+	if err := w.post(ctx, "/cluster/v1/poll", pollRequest{Worker: w.opts.Name, Max: w.opts.PollMax}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Assignments, nil
+}
+
+// execute runs one assignment's units on the worker pool, uploading each
+// record as it completes. Every unit goes through sweep.ExecuteUnit — the
+// engine's own retry/panic-isolation path — with the spec's fault
+// injection applied by grid position, so a cluster-executed unit fails
+// (or succeeds) with byte-identical records to a single-node run.
+func (w *Worker) execute(ctx context.Context, a Assignment) {
+	g, err := a.Spec.ResolveGrid(a.Instr)
+	if err != nil {
+		w.logger.Error("cannot resolve assigned spec", "job", a.Job, "err", err)
+		w.upload(ctx, uploadRequest{Worker: w.opts.Name, Job: a.Job, SpecError: err.Error()})
+		return
+	}
+	units := g.Units()
+	sel := make([]sweep.Unit, 0, len(a.Seqs))
+	for _, seq := range a.Seqs {
+		if seq < 0 || seq >= len(units) {
+			w.upload(ctx, uploadRequest{
+				Worker: w.opts.Name, Job: a.Job,
+				SpecError: fmt.Sprintf("assigned seq %d outside grid of %d units", seq, len(units)),
+			})
+			return
+		}
+		sel = append(sel, units[seq])
+	}
+	fn := w.runFunc(g.Instr)
+	if a.Spec.InjectPanic > 0 {
+		fn = sweep.InjectPanicRun(fn, a.Spec.InjectPanic)
+	}
+	_ = w.pool.ForEach(ctx, len(sel), func(_, i int) {
+		u := sel[i]
+		rec := sweep.ExecuteUnit(ctx, u, fn, w.opts.Retries, w.opts.Backoff, nil)
+		if ctx.Err() != nil && rec.Err != "" {
+			// Shutdown mid-retry: drop the incomplete record; the lease
+			// expires and another worker re-executes the unit.
+			return
+		}
+		w.wm.unitsExecuted.Inc()
+		if rec.Err != "" {
+			w.wm.unitsFailed.Inc()
+		}
+		w.upload(ctx, uploadRequest{Worker: w.opts.Name, Job: a.Job, Records: []sweep.Record{rec}})
+	})
+}
+
+// runFunc mirrors the serving daemon's RunFunc: identical simulation
+// semantics to offline sweep.Sim with program images shared through an
+// experiments.Runner.
+func (w *Worker) runFunc(instr uint64) sweep.RunFunc {
+	return func(ctx context.Context, u sweep.Unit) (pipeline.Result, error) {
+		if err := u.Config.Validate(); err != nil {
+			return pipeline.Result{}, err
+		}
+		prog := w.runner.Program(u.Profile)
+		if u.Sample != "" {
+			plan, err := checkpoint.ParseMode(u.Sample)
+			if err != nil {
+				return pipeline.Result{}, err
+			}
+			return checkpoint.Run(u.Config, prog, pipeline.SchedulerEvent, instr, plan).Result, nil
+		}
+		return pipeline.NewWithScheduler(u.Config, prog, pipeline.SchedulerEvent).Run(instr), nil
+	}
+}
+
+// upload delivers records with bounded retry. A drop after retries is
+// safe — the coordinator's lease expires and the unit re-executes
+// elsewhere, producing the identical record — so the worker never blocks
+// forever on a dead coordinator. A 404 (job or worker gone) drops
+// immediately.
+func (w *Worker) upload(ctx context.Context, req uploadRequest) {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var resp uploadResponse
+		err := w.post(ctx, "/cluster/v1/results", req, &resp)
+		if err == nil {
+			w.wm.uploads.Add(uint64(len(req.Records)))
+			return
+		}
+		if isUnknown(err) || attempt >= 4 || ctx.Err() != nil {
+			w.wm.uploadErrors.Inc()
+			w.logger.Warn("upload dropped", "job", req.Job, "records", len(req.Records), "err", err)
+			return
+		}
+		if !sleepCtx(ctx, backoff) {
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// statusError is a non-2xx coordinator response.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("coordinator: %d: %s", e.code, e.msg) }
+
+func isUnknown(err error) bool {
+	se, ok := err.(*statusError)
+	return ok && se.code == http.StatusNotFound
+}
+
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ae)
+		return &statusError{code: resp.StatusCode, msg: ae.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps d or until ctx is done; reports whether it slept fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

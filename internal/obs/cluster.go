@@ -1,0 +1,35 @@
+package obs
+
+// ClusterWorker is one registered worker daemon in the coordinator's
+// fleet view (GET /cluster/v1/workers and `atrctl workers`).
+type ClusterWorker struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr,omitempty"` // advertised metrics address, if any
+	SimWorkers int    `json:"sim_workers,omitempty"`
+
+	// AliveSeconds is time since registration; LastBeatSeconds is time
+	// since the last heartbeat (a worker is evicted once this exceeds the
+	// coordinator's heartbeat timeout).
+	AliveSeconds    float64 `json:"alive_seconds"`
+	LastBeatSeconds float64 `json:"last_beat_seconds"`
+
+	// Leased counts units currently leased to this worker; Done and
+	// Failed count records it has uploaded.
+	Leased int    `json:"leased"`
+	Done   uint64 `json:"done"`
+	Failed uint64 `json:"failed"`
+}
+
+// ClusterInfo is the coordinator's fleet snapshot: the registered
+// workers plus cluster-wide unit accounting. Like ServerInfo it is a
+// monitoring view — nothing in it feeds back into scheduling or the
+// deterministic manifests.
+type ClusterInfo struct {
+	Workers     []ClusterWorker `json:"workers"`
+	JobsActive  int             `json:"jobs_active"`
+	UnitsDone   int             `json:"units_done"`
+	UnitsLeased int             `json:"units_leased"`
+	// UnitsPending counts units of active jobs that are neither done nor
+	// under a live lease (waiting for a worker to poll).
+	UnitsPending int `json:"units_pending"`
+}

@@ -3,30 +3,48 @@ package server
 import (
 	"container/list"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"atr/internal/sweep"
 	"atr/internal/telemetry"
 )
 
-// runCache is the daemon's content-addressed result cache: completed run
-// records keyed by the sweep engine's SHA-256 run key plus the instruction
-// budget (the one run parameter the key does not cover). Identical runs
-// submitted by any client — inside any grid — are served from here without
-// re-simulating; because records are deterministic in (profile, config,
-// instr), a cached record is byte-for-byte the record a fresh simulation
-// would produce, so cache hits cannot perturb manifest identity.
-type runCache struct {
-	mu    sync.Mutex
-	cap   int
-	lru   *list.List // of string cache keys; front = most recent
-	byKey map[string]*cacheEntry
+// cacheShards is the lock-striping factor of RunCache. Run keys are
+// SHA-256 prefixes, so any power-of-two masking spreads them evenly.
+const cacheShards = 16
 
-	// hits/misses are registry instruments owned by the server's telemetry
+// RunCache is the content-addressed result cache: completed run records
+// keyed by the sweep engine's SHA-256 run key plus the instruction budget
+// (the one run parameter the key does not cover). Identical runs submitted
+// by any client — inside any grid, on any node — are served from here
+// without re-simulating; because records are deterministic in (profile,
+// config, instr), a cached record is byte-for-byte the record a fresh
+// simulation would produce, so cache hits cannot perturb manifest identity.
+//
+// The cache is N-way lock-striped: each shard owns an independent mutex,
+// LRU list, and capacity slice, so concurrent lookups from different jobs
+// (or, on a coordinator, different workers' uploads) contend only when
+// they hash to the same shard. Hit/miss counters are the lock-free
+// telemetry instruments, recorded outside any shard lock. Exported so the
+// cluster coordinator reuses the exact dedup semantics of the single-node
+// daemon.
+type RunCache struct {
+	shards [cacheShards]cacheShard
+	cap    int
+
+	// hits/misses are registry instruments owned by the caller's telemetry
 	// registry; the cache records into them so lookups show up in /metrics
 	// without a second set of counters to keep in sync.
 	hits   *telemetry.Counter
 	misses *telemetry.Counter
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of string cache keys; front = most recent
+	byKey map[string]*cacheEntry
 }
 
 type cacheEntry struct {
@@ -34,7 +52,9 @@ type cacheEntry struct {
 	elem *list.Element
 }
 
-func newRunCache(capacity int, hits, misses *telemetry.Counter) *runCache {
+// NewRunCache creates a cache holding up to capacity records (<= 0 selects
+// 65536). hits/misses may be nil; private counters are used then.
+func NewRunCache(capacity int, hits, misses *telemetry.Counter) *RunCache {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
@@ -44,55 +64,75 @@ func newRunCache(capacity int, hits, misses *telemetry.Counter) *runCache {
 	if misses == nil {
 		misses = new(telemetry.Counter)
 	}
-	return &runCache{cap: capacity, lru: list.New(), byKey: make(map[string]*cacheEntry), hits: hits, misses: misses}
+	c := &RunCache{cap: capacity, hits: hits, misses: misses}
+	per := (capacity + cacheShards - 1) / cacheShards
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, lru: list.New(), byKey: make(map[string]*cacheEntry)}
+	}
+	return c
 }
 
 func cacheKey(runKey string, instr uint64) string {
 	return fmt.Sprintf("%s@%d", runKey, instr)
 }
 
-// get returns the cached record for (runKey, instr), if any.
-func (c *runCache) get(runKey string, instr uint64) (sweep.Record, bool) {
+func (c *RunCache) shard(k string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return &c.shards[h.Sum32()&(cacheShards-1)]
+}
+
+// Get returns the cached record for (runKey, instr), if any.
+func (c *RunCache) Get(runKey string, instr uint64) (sweep.Record, bool) {
 	k := cacheKey(runKey, instr)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.byKey[k]
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.byKey[k]
 	if !ok {
+		s.mu.Unlock()
 		c.misses.Inc()
 		return sweep.Record{}, false
 	}
+	s.lru.MoveToFront(e.elem)
+	rec := e.rec
+	s.mu.Unlock()
 	c.hits.Inc()
-	c.lru.MoveToFront(e.elem)
-	return e.rec, true
+	return rec, true
 }
 
-// put stores a successful record. Failed records are never cached: a retry
+// Put stores a successful record. Failed records are never cached: a retry
 // of the same unit must actually re-execute.
-func (c *runCache) put(runKey string, instr uint64, rec sweep.Record) {
+func (c *RunCache) Put(runKey string, instr uint64, rec sweep.Record) {
 	if rec.Err != "" {
 		return
 	}
 	k := cacheKey(runKey, instr)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.byKey[k]; ok {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byKey[k]; ok {
 		e.rec = rec
-		c.lru.MoveToFront(e.elem)
+		s.lru.MoveToFront(e.elem)
 		return
 	}
 	e := &cacheEntry{rec: rec}
-	e.elem = c.lru.PushFront(k)
-	c.byKey[k] = e
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
-		delete(c.byKey, back.Value.(string))
-		c.lru.Remove(back)
+	e.elem = s.lru.PushFront(k)
+	s.byKey[k] = e
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		delete(s.byKey, back.Value.(string))
+		s.lru.Remove(back)
 	}
 }
 
-// stats snapshots cache effectiveness counters.
-func (c *runCache) stats() (hits, misses, size, capacity int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return int(c.hits.Value()), int(c.misses.Value()), c.lru.Len(), c.cap
+// Stats snapshots cache effectiveness counters. Size sums the shards;
+// capacity is the configured total.
+func (c *RunCache) Stats() (hits, misses, size, capacity int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		size += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return int(c.hits.Value()), int(c.misses.Value()), size, c.cap
 }

@@ -67,10 +67,13 @@ type JobSpec struct {
 	InjectPanic int `json:"inject_panic,omitempty"`
 }
 
-// grid resolves the spec into the sweep grid it declares. defaultInstr
+// Grid resolves the spec into the sweep grid it declares. defaultInstr
 // fills in a zero budget. The resolution is pure, so a persisted spec
-// rebuilds the identical grid (same name, same unit keys) after a restart.
-func (s JobSpec) grid(defaultInstr uint64) (sweep.Grid, error) {
+// rebuilds the identical grid (same name, same unit keys) after a restart
+// — and a cluster worker handed the same spec resolves the identical
+// grid the coordinator sharded, which is what makes coordinator-side
+// journaling by run key sound.
+func (s JobSpec) ResolveGrid(defaultInstr uint64) (sweep.Grid, error) {
 	instr := s.Instr
 	if instr == 0 {
 		instr = defaultInstr

@@ -107,11 +107,11 @@ func (tm *serverMetrics) registerCollectors(s *Server) {
 	tm.reg.GaugeFunc("atr_queue_capacity", "Bounded job queue capacity.",
 		func() float64 { return float64(s.opts.QueueDepth) })
 	tm.reg.GaugeFunc("atr_rate_clients", "Token buckets currently tracked by the rate limiter.",
-		func() float64 { return float64(s.limiter.clients()) })
+		func() float64 { return float64(s.limiter.Clients()) })
 	tm.reg.GaugeFunc("atr_result_cache_size", "Records resident in the result cache.",
-		func() float64 { _, _, size, _ := s.cache.stats(); return float64(size) })
+		func() float64 { _, _, size, _ := s.cache.Stats(); return float64(size) })
 	tm.reg.GaugeFunc("atr_result_cache_capacity", "Result cache capacity.",
-		func() float64 { _, _, _, capacity := s.cache.stats(); return float64(capacity) })
+		func() float64 { _, _, _, capacity := s.cache.Stats(); return float64(capacity) })
 	tm.reg.CounterFunc("atr_runner_memo_hits_total", "Runner memo-cache hits.",
 		func() uint64 { h, _, _ := s.runner.CacheStats(); return h })
 	tm.reg.CounterFunc("atr_runner_memo_evictions_total", "Runner memo-cache evictions.",

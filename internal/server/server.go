@@ -88,8 +88,8 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	runner  *experiments.Runner // shared across jobs: program cache
-	cache   *runCache
-	limiter *limiter
+	cache   *RunCache
+	limiter *Limiter
 	tm      *serverMetrics // all counters/gauges/histograms; Metrics() is a view
 	logger  *slog.Logger
 
@@ -175,8 +175,8 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:       opts,
 		runner:     experiments.NewRunner(opts.DefaultInstr),
-		cache:      newRunCache(opts.CacheCap, tm.cacheHits, tm.cacheMisses),
-		limiter:    newLimiter(opts.Rate, opts.Burst),
+		cache:      NewRunCache(opts.CacheCap, tm.cacheHits, tm.cacheMisses),
+		limiter:    NewLimiter(opts.Rate, opts.Burst),
 		tm:         tm,
 		logger:     logger,
 		baseCtx:    ctx,
@@ -255,7 +255,7 @@ func (s *Server) recover() error {
 		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n >= s.nextID {
 			s.nextID = n + 1
 		}
-		g, err := pj.Spec.grid(s.opts.DefaultInstr)
+		g, err := pj.Spec.ResolveGrid(s.opts.DefaultInstr)
 		if err != nil {
 			continue // spec no longer resolvable (e.g. renamed profile)
 		}
@@ -336,7 +336,7 @@ func (s *Server) noteFinish(prev, state string) {
 // path, and enforces the queue bound.
 func (s *Server) submit(spec JobSpec) (*Job, error, int) {
 	t0 := time.Now()
-	g, err := spec.grid(s.opts.DefaultInstr)
+	g, err := spec.ResolveGrid(s.opts.DefaultInstr)
 	if err != nil {
 		return nil, err, http.StatusBadRequest
 	}
@@ -445,7 +445,7 @@ func (s *Server) nextJob() *Job {
 // produces — the same encoder offline atrsweep uses, which is what makes
 // served and offline manifests comparable with cmp).
 func (s *Server) runJob(j *Job) {
-	g, err := j.Spec.grid(s.opts.DefaultInstr)
+	g, err := j.Spec.ResolveGrid(s.opts.DefaultInstr)
 	if err != nil {
 		s.failJob(j, err.Error())
 		return
@@ -550,7 +550,7 @@ func (s *Server) runJob(j *Job) {
 	sl.Emit(telemetry.Span{Name: "merge", Detail: "manifest.json"}, mergeStart, time.Since(mergeStart))
 
 	for _, rec := range m.Runs {
-		s.cache.put(rec.Key, g.Instr, rec)
+		s.cache.Put(rec.Key, g.Instr, rec)
 	}
 	j.finish(StateDone, "")
 	s.logger.Info("job done", "job", j.ID,
@@ -586,7 +586,7 @@ func (s *Server) resumeFor(j *Job, g sweep.Grid) *sweep.Journal {
 		if _, ok := resume.Records[u.Key]; ok {
 			continue
 		}
-		if rec, ok := s.cache.get(u.Key, g.Instr); ok {
+		if rec, ok := s.cache.Get(u.Key, g.Instr); ok {
 			resume.Records[u.Key] = rec
 			cached++
 		}
@@ -660,7 +660,7 @@ func (s *Server) batchRunFunc(instr uint64) sweep.BatchRunFunc {
 // value is a real past value, but the set is not a consistent cut.
 func (s *Server) Metrics() obs.ServerInfo {
 	tm := s.tm
-	hits, misses, size, capacity := s.cache.stats()
+	hits, misses, size, capacity := s.cache.Stats()
 	memoHits, _, _ := s.runner.CacheStats()
 	_, progs := s.runner.ProgramCacheStats()
 	return obs.ServerInfo{
@@ -683,7 +683,7 @@ func (s *Server) Metrics() obs.ServerInfo {
 		CacheSize:      size,
 		CacheCap:       capacity,
 		HTTPRequests:   int(tm.httpAll.Value()),
-		LimiterClients: s.limiter.clients(),
+		LimiterClients: s.limiter.Clients(),
 		RunnerMemoHits: int(memoHits),
 		RunnerPrograms: progs,
 	}
@@ -742,7 +742,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.logger.Log(r.Context(), lvl, "request",
 			"method", r.Method, "route", route, "path", r.URL.Path,
 			"status", code, "dur_ms", float64(dur.Microseconds())/1000,
-			"client", clientKey(r))
+			"client", ClientKey(r))
 	}
 }
 
@@ -785,7 +785,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if ok, retry := s.limiter.allow(clientKey(r), time.Now()); !ok {
+	if ok, retry := s.limiter.Allow(ClientKey(r), time.Now()); !ok {
 		s.tm.rateLimited.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "rate limit exceeded"})

@@ -327,7 +327,7 @@ func TestConcurrentJobsIsolationAndCache(t *testing.T) {
 	// Per-job isolation: every manifest matches its own offline
 	// reference, bytes and all.
 	for i, id := range ids {
-		g, err := specs[i].grid(opts.DefaultInstr)
+		g, err := specs[i].ResolveGrid(opts.DefaultInstr)
 		if err != nil {
 			t.Fatalf("grid: %v", err)
 		}
@@ -345,7 +345,7 @@ func TestConcurrentJobsIsolationAndCache(t *testing.T) {
 	if after.RunsExecuted != before.RunsExecuted {
 		t.Errorf("duplicate submission executed %d new runs, want 0", after.RunsExecuted-before.RunsExecuted)
 	}
-	g4, _ := specs[4].grid(opts.DefaultInstr)
+	g4, _ := specs[4].ResolveGrid(opts.DefaultInstr)
 	wantUnits := len(g4.Units())
 	if got := after.RunsFromCache - before.RunsFromCache; got != wantUnits {
 		t.Errorf("duplicate served %d runs from cache, want %d", got, wantUnits)
@@ -440,7 +440,7 @@ func TestClientDisconnectCancelsEphemeralJob(t *testing.T) {
 	if len(journal.Records) < 3 {
 		t.Fatalf("journal has %d records, want >= 3", len(journal.Records))
 	}
-	g, err := spec.grid(opts.DefaultInstr)
+	g, err := spec.ResolveGrid(opts.DefaultInstr)
 	if err != nil {
 		t.Fatalf("grid: %v", err)
 	}
@@ -567,24 +567,24 @@ func TestBadSpecRejected(t *testing.T) {
 
 // TestLimiterRetryAfter unit-tests the bucket arithmetic.
 func TestLimiterRetryAfter(t *testing.T) {
-	l := newLimiter(2, 1) // 2 tokens/sec, burst 1
+	l := NewLimiter(2, 1) // 2 tokens/sec, burst 1
 	now := time.Unix(1000, 0)
-	ok, _ := l.allow("c", now)
+	ok, _ := l.Allow("c", now)
 	if !ok {
 		t.Fatal("first request refused")
 	}
-	ok, retry := l.allow("c", now)
+	ok, retry := l.Allow("c", now)
 	if ok {
 		t.Fatal("second request allowed with empty bucket")
 	}
 	if retry != time.Second {
 		t.Fatalf("retry = %v, want 1s (0.5s rounded up)", retry)
 	}
-	ok, _ = l.allow("c", now.Add(600*time.Millisecond))
+	ok, _ = l.Allow("c", now.Add(600*time.Millisecond))
 	if !ok {
 		t.Fatal("request refused after refill")
 	}
-	if ok, _ := l.allow("other", now); !ok {
+	if ok, _ := l.Allow("other", now); !ok {
 		t.Fatal("independent client refused")
 	}
 }
@@ -593,11 +593,11 @@ func TestLimiterRetryAfter(t *testing.T) {
 // restart path depends on a persisted spec rebuilding identical unit keys.
 func TestSpecGridDeterminism(t *testing.T) {
 	spec := JobSpec{Kind: "grid", Grid: "fig10", Instr: 777}
-	g1, err := spec.grid(1000)
+	g1, err := spec.ResolveGrid(1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, _ := spec.grid(2000) // explicit Instr wins over the default
+	g2, _ := spec.ResolveGrid(2000) // explicit Instr wins over the default
 	u1, u2 := g1.Units(), g2.Units()
 	if len(u1) == 0 || len(u1) != len(u2) {
 		t.Fatalf("unit counts differ: %d vs %d", len(u1), len(u2))

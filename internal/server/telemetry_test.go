@@ -290,22 +290,27 @@ func TestRetryAfterHeaderValue(t *testing.T) {
 }
 
 // TestLimiterPruneShrinksClients exercises the idle-bucket prune directly:
-// the tracked-client gauge grows to the prune threshold under client churn
-// and shrinks once idle buckets have refilled to full.
+// the tracked-client gauge grows under client churn and idle buckets are
+// dropped shard by shard once they have refilled to full, so a second wave
+// of clients replaces the first instead of accumulating on top of it.
 func TestLimiterPruneShrinksClients(t *testing.T) {
-	l := newLimiter(1, 5)
+	l := NewLimiter(1, 5)
 	now := time.Now()
-	for i := 0; i < 4096; i++ {
-		l.allow(fmt.Sprintf("client-%d", i), now)
+	const wave = 16 * limiterPrune * 2 // every shard comfortably past its prune threshold
+	for i := 0; i < wave; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i), now)
 	}
-	if got := l.clients(); got != 4096 {
-		t.Fatalf("clients after churn = %d, want 4096", got)
+	if got := l.Clients(); got != wave {
+		t.Fatalf("clients after churn = %d, want %d", got, wave)
 	}
-	// 10 idle seconds at rate 1 refills past burst 5: every earlier bucket
-	// carries no information and the next insertion prunes them all.
-	l.allow("late-client", now.Add(10*time.Second))
-	if got := l.clients(); got != 1 {
-		t.Errorf("clients after prune = %d, want 1 (idle buckets dropped)", got)
+	// 10 idle seconds at rate 1 refills past burst 5: every first-wave
+	// bucket carries no information, and the second wave's insertions push
+	// each shard past its prune threshold, dropping them all.
+	for i := 0; i < wave; i++ {
+		l.Allow(fmt.Sprintf("late-client-%d", i), now.Add(10*time.Second))
+	}
+	if got := l.Clients(); got != wave {
+		t.Errorf("clients after prune = %d, want %d (idle buckets dropped)", got, wave)
 	}
 }
 

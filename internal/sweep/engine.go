@@ -277,24 +277,47 @@ func (e *Engine) Execute(ctx context.Context, g Grid, fn RunFunc) (*Manifest, er
 	}
 
 	mergeStart := time.Now()
-	m := &Manifest{Schema: ManifestSchema, Version: ManifestVersion, Grid: g.info()}
-	m.Runs = make([]Record, len(recs))
+	runs := make([]Record, len(recs))
 	for i, r := range recs {
 		if r == nil {
 			return nil, fmt.Errorf("sweep: run %d never executed (engine bug)", i)
 		}
-		m.Runs[i] = *r
-		if r.Err == "" {
-			m.Totals.Done++
-			m.Totals.Committed += r.Result.Committed
-			m.Totals.Cycles += r.Result.Cycles
-		} else {
-			m.Totals.Failed++
-		}
+		runs[i] = *r
+	}
+	m, err := FinalizeManifest(g, runs)
+	if err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	e.info.MergeSeconds = time.Since(mergeStart).Seconds()
 	e.mu.Unlock()
+	return m, nil
+}
+
+// FinalizeManifest assembles the deterministic merged manifest from one
+// record per grid unit, already in grid (Seq) order. It is the single
+// merge path: the engine and the cluster coordinator both call it, so the
+// byte-parity argument (DESIGN 3.1c/d, 3.1i) rests on one piece of code
+// regardless of whether records were produced by goroutines in one
+// process or by worker daemons across a fleet.
+func FinalizeManifest(g Grid, runs []Record) (*Manifest, error) {
+	m := &Manifest{Schema: ManifestSchema, Version: ManifestVersion, Grid: g.info()}
+	if len(runs) != m.Grid.Total {
+		return nil, fmt.Errorf("sweep: merge has %d runs, grid %q declares %d", len(runs), g.Name, m.Grid.Total)
+	}
+	m.Runs = runs
+	for i := range runs {
+		if runs[i].Seq != i {
+			return nil, fmt.Errorf("sweep: merge run %d has seq %d (not in grid order)", i, runs[i].Seq)
+		}
+		if runs[i].Err == "" {
+			m.Totals.Done++
+			m.Totals.Committed += runs[i].Result.Committed
+			m.Totals.Cycles += runs[i].Result.Cycles
+		} else {
+			m.Totals.Failed++
+		}
+	}
 	return m, nil
 }
 
@@ -375,26 +398,63 @@ func (e *Engine) accountShard(worker int, busy float64, rec Record) {
 // runOne executes one unit with panic isolation and bounded
 // retry-with-backoff, returning its deterministic record.
 func (e *Engine) runOne(ctx context.Context, u Unit, fn RunFunc) Record {
+	return ExecuteUnit(ctx, u, e.injected(fn), e.opts.Retries, e.opts.Backoff, func() {
+		e.mu.Lock()
+		e.info.Retried++
+		e.mu.Unlock()
+	})
+}
+
+// injected wraps fn with the engine's fault-injection hook: when the
+// unit is the poisoned one, every attempt panics before fn runs.
+func (e *Engine) injected(fn RunFunc) RunFunc {
+	if e.opts.InjectPanic <= 0 {
+		return fn
+	}
+	return InjectPanicRun(fn, e.opts.InjectPanic)
+}
+
+// InjectPanicRun wraps fn so that every attempt of the k-th grid run
+// (1-based, grid order) panics before executing. It is the shared
+// fault-injection hook: the engine and the cluster worker apply it
+// identically, so a poisoned unit fails with the same recorded error no
+// matter where it is scheduled.
+func InjectPanicRun(fn RunFunc, k int) RunFunc {
+	return func(ctx context.Context, u Unit) (pipeline.Result, error) {
+		if k == u.Seq+1 {
+			panic(fmt.Sprintf("injected fault (-inject-panic %d)", k))
+		}
+		return fn(ctx, u)
+	}
+}
+
+// ExecuteUnit runs one grid unit with panic isolation and bounded
+// retry-with-backoff (backoff doubles per retry), returning its
+// deterministic record. It is the engine's per-unit execution path,
+// exported so other executors — the cluster worker daemon — share the
+// exact retry, panic-recovery, and failure-recording semantics that the
+// parity argument depends on. onRetry, when non-nil, is called before
+// each retry sleep.
+func ExecuteUnit(ctx context.Context, u Unit, fn RunFunc, retries int, backoff time.Duration, onRetry func()) Record {
 	rec := Record{
 		Key: u.Key, Seq: u.Seq, Bench: u.Profile.Name,
 		Scheme: u.Config.Scheme.String(), PhysRegs: u.Config.PhysRegs,
 		Sample: u.Sample,
 	}
-	backoff := e.opts.Backoff
 	for attempt := 1; ; attempt++ {
 		rec.Attempts = attempt
-		res, err := e.attempt(ctx, u, fn)
+		res, err := runAttempt(ctx, u, fn)
 		if err == nil {
 			rec.Result, rec.Err = res, ""
 			return rec
 		}
 		rec.Err = err.Error()
-		if attempt > e.opts.Retries || ctx.Err() != nil {
+		if attempt > retries || ctx.Err() != nil {
 			return rec
 		}
-		e.mu.Lock()
-		e.info.Retried++
-		e.mu.Unlock()
+		if onRetry != nil {
+			onRetry()
+		}
 		if backoff > 0 {
 			t := time.NewTimer(backoff)
 			select {
@@ -408,18 +468,15 @@ func (e *Engine) runOne(ctx context.Context, u Unit, fn RunFunc) Record {
 	}
 }
 
-// attempt runs fn once, converting a panic — the unit's own or an
-// injected one — into an error so a poisoned run degrades to a recorded
-// failure instead of killing the sweep.
-func (e *Engine) attempt(ctx context.Context, u Unit, fn RunFunc) (res pipeline.Result, err error) {
+// runAttempt runs fn once, converting a panic into an error so a
+// poisoned run degrades to a recorded failure instead of killing the
+// sweep.
+func runAttempt(ctx context.Context, u Unit, fn RunFunc) (res pipeline.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
-	if e.opts.InjectPanic == u.Seq+1 {
-		panic(fmt.Sprintf("injected fault (-inject-panic %d)", e.opts.InjectPanic))
-	}
 	return fn(ctx, u)
 }
 

@@ -47,10 +47,46 @@ type journalHeader struct {
 }
 
 // journalEntry wraps a Record with scheduling metadata that is allowed to
-// vary between runs of the same grid.
+// vary between runs of the same grid. Node names the cluster worker that
+// produced the record ("" outside a cluster, and omitted so single-node
+// journals are byte-identical to pre-cluster ones); like Worker it is
+// provenance only and never reaches the manifest.
 type journalEntry struct {
 	Record
-	Worker int `json:"worker"`
+	Worker int    `json:"worker"`
+	Node   string `json:"node,omitempty"`
+}
+
+// AppendJournalHeader writes the binding header line of a new journal for
+// grid g declaring total runs. Exported for the cluster coordinator, whose
+// merged journal must be loadable by LoadJournal and resumable by the
+// engine exactly like a single-node journal.
+func AppendJournalHeader(w io.Writer, g Grid, total int) error {
+	return appendJournalLine(w, journalHeader{
+		Schema: JournalSchema, Version: JournalVersion,
+		Grid: g.Name, Instr: g.Instr, Total: total,
+	})
+}
+
+// AppendJournalRecord writes one completed-run line. worker is the pool
+// worker index (-1 when not applicable, e.g. resumed or cluster-merged
+// records); node names the cluster worker daemon that produced the record,
+// "" outside a cluster.
+func AppendJournalRecord(w io.Writer, rec Record, worker int, node string) error {
+	return appendJournalLine(w, journalEntry{Record: rec, Worker: worker, Node: node})
+}
+
+// appendJournalLine appends one JSONL line in a single Write call, so an
+// os.File journal is line-atomic in practice.
+func appendJournalLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: journal encode: %w", err)
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("sweep: journal write: %w", err)
+	}
+	return nil
 }
 
 // Journal is a parsed sweep journal: the grid identity it was written
